@@ -1,0 +1,185 @@
+package mrvd
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"mrvd/internal/dispatch"
+	"mrvd/internal/experiments"
+	"mrvd/internal/matching"
+	"mrvd/internal/queueing"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/sim"
+	"mrvd/internal/workload"
+)
+
+// benchConfig is the scale used by the per-table/figure benchmarks: 5%
+// of the paper's volume with a single problem instance, so the full
+// bench suite completes on a laptop. cmd/mrvd-bench regenerates the same
+// artifacts at the committed 0.25 (or full 1.0) scale.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 0.05, Seeds: 1}
+}
+
+// benchExperiment runs one registered paper artifact per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchConfig(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table ---
+
+func BenchmarkTable3IdleTimeEstimation(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4PredictionEffects(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable6PredictorAccuracy(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkTable7OrderPoissonTests(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable8DriverPoissonTests(b *testing.B) { benchExperiment(b, "table8") }
+
+// --- One benchmark per paper figure ---
+
+func BenchmarkFig5PickupDensity(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6IdleTimeMap(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7NumDrivers(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8BatchInterval(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9TimeWindow(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10BaseWaitingTime(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11OrderHistogram(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12DriverHistogram(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13ServedOrders(b *testing.B)    { benchExperiment(b, "fig13") }
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+func BenchmarkAblationReneging(b *testing.B) { benchExperiment(b, "ablation-reneging") }
+func BenchmarkAblationLSSeed(b *testing.B)   { benchExperiment(b, "ablation-lsseed") }
+func BenchmarkAblationCoster(b *testing.B)   { benchExperiment(b, "ablation-coster") }
+func BenchmarkAblationMuUpdate(b *testing.B) { benchExperiment(b, "ablation-muupdate") }
+
+// --- Microbenchmarks of the hot substrates ---
+
+func BenchmarkQueueingExpectedIdleTime(b *testing.B) {
+	m := queueing.NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// One call per regime.
+		_ = m.ExpectedIdleTime(0.5, 0.3, 100)
+		_ = m.ExpectedIdleTime(0.2, 0.5, 40)
+		_ = m.ExpectedIdleTime(0.3, 0.3, 25)
+	}
+}
+
+func BenchmarkHungarian64x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([][]float64, 64)
+	for i := range w {
+		w[i] = make([]float64, 64)
+		for j := range w[i] {
+			w[i][j] = rng.Float64() * 1000
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.MaxWeight(w)
+	}
+}
+
+func BenchmarkDijkstraGridNetwork(b *testing.B) {
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		dst := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		g.ShortestPath(src, dst)
+	}
+}
+
+func BenchmarkWorkloadGenerateDay(b *testing.B) {
+	city := workload.NewCity(workload.CityConfig{OrdersPerDay: 28000, Seed: 31})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		city.GenerateDay(0, rng)
+	}
+}
+
+// BenchmarkBatchIRG measures a single realistic batch decision: ~200
+// waiting riders, ~80 available drivers, valid pairs precomputed.
+func BenchmarkBatchIRG(b *testing.B) {
+	ctx := syntheticBatch(200, 80, 12)
+	g := &dispatch.IRG{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Assign(ctx)
+	}
+}
+
+func BenchmarkBatchLS(b *testing.B) {
+	ctx := syntheticBatch(200, 80, 12)
+	l := &dispatch.LS{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Assign(ctx)
+	}
+}
+
+// syntheticBatch fabricates a dispatch context with the given rider and
+// driver counts and candidate fan-out.
+func syntheticBatch(riders, drivers, fanout int) *sim.Context {
+	rng := rand.New(rand.NewSource(7))
+	grid := NewNYCGrid()
+	n := grid.NumRegions()
+	ctx := &sim.Context{
+		Now: 8 * 3600, TC: 1200, Grid: grid,
+		WaitingPerRegion:   make([]int, n),
+		AvailablePerRegion: make([]int, n),
+		PredictedRiders:    make([]int, n),
+		PredictedDrivers:   make([]int, n),
+	}
+	for k := 0; k < n; k++ {
+		ctx.PredictedRiders[k] = rng.Intn(30)
+		ctx.PredictedDrivers[k] = rng.Intn(12)
+	}
+	for r := 0; r < riders; r++ {
+		region := RegionID(rng.Intn(n))
+		ctx.Riders = append(ctx.Riders, &sim.Rider{
+			TripCost:   120 + rng.Float64()*1800,
+			DestRegion: RegionID(rng.Intn(n)),
+		})
+		ctx.RiderRegion = append(ctx.RiderRegion, region)
+		ctx.WaitingPerRegion[region]++
+	}
+	for d := 0; d < drivers; d++ {
+		region := RegionID(rng.Intn(n))
+		ctx.Drivers = append(ctx.Drivers, &sim.Driver{ID: sim.DriverID(d)})
+		ctx.DriverRegion = append(ctx.DriverRegion, region)
+		ctx.AvailablePerRegion[region]++
+	}
+	for r := 0; r < riders; r++ {
+		for f := 0; f < fanout; f++ {
+			ctx.Pairs = append(ctx.Pairs, sim.Pair{
+				R: int32(r), D: int32(rng.Intn(drivers)),
+				PickupCost: rng.Float64() * 110,
+				TripCost:   ctx.Riders[r].TripCost,
+				DestRegion: ctx.Riders[r].DestRegion,
+			})
+		}
+	}
+	return ctx
+}
+
+func BenchmarkAblationReposition(b *testing.B) { benchExperiment(b, "ablation-reposition") }

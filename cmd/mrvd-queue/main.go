@@ -1,0 +1,55 @@
+// Command mrvd-queue explores the paper's double-sided queueing model
+// (Section 4): it prints the expected driver idle time ET(lambda, mu)
+// across a grid of demand/supply rates, plus the steady-state
+// probability mass in each regime — a quick way to see how the idle
+// ratio will rank destination regions.
+//
+// Usage:
+//
+//	mrvd-queue [-beta 0.05] [-k 50] [-lambda 0.05] [-mus 0.01,0.02,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"mrvd/internal/queueing"
+)
+
+func main() {
+	var (
+		beta   = flag.Float64("beta", 0.05, "reneging exponent of pi(n) = e^(beta*n)/mu")
+		k      = flag.Int("k", 50, "max congested drivers K in the window")
+		lambda = flag.Float64("lambda", 0.05, "rider arrival rate (per second)")
+		mus    = flag.String("mus", "0.01,0.02,0.03,0.05,0.05,0.08,0.1", "driver arrival rates to tabulate")
+		cost   = flag.Float64("cost", 600, "trip cost (s) for the idle-ratio column")
+	)
+	flag.Parse()
+
+	model := queueing.New(queueing.Config{Beta: *beta})
+	fmt.Printf("lambda = %g /s, K = %d, beta = %g\n", *lambda, *k, *beta)
+	fmt.Printf("%10s %8s %12s %12s %14s\n",
+		"mu", "regime", "p0", "ET (s)", fmt.Sprintf("IR(cost=%.0fs)", *cost))
+	for _, f := range strings.Split(*mus, ",") {
+		mu, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrvd-queue: bad mu %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		regime := "λ>μ"
+		switch {
+		case math.Abs(mu-*lambda) < 1e-12:
+			regime = "λ=μ"
+		case mu > *lambda:
+			regime = "λ<μ"
+		}
+		p0 := model.P0(*lambda, mu, *k)
+		et := model.ExpectedIdleTime(*lambda, mu, *k)
+		ir := queueing.IdleRatio(*cost, et)
+		fmt.Printf("%10.4f %8s %12.6g %12.2f %14.4f\n", mu, regime, p0, et, ir)
+	}
+}

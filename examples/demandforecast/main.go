@@ -1,0 +1,58 @@
+// Demand forecast: train all four prediction models of the paper's
+// Appendix A on a synthetic multi-month history and compare their
+// held-out accuracy (the protocol behind Table 6), then show how one
+// region's 8 AM forecast tracks reality across a week.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrvd"
+	"mrvd/internal/predict"
+)
+
+func main() {
+	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 70000, Seed: 31})
+	days := predict.MinLookbackDays + 28
+	evalDays := 7
+
+	fmt.Printf("generating %d days of 30-minute demand history...\n", days)
+	h := predict.GenerateHistory(city, days, 1800, 5)
+
+	fmt.Printf("%-16s %10s %10s %10s\n", "model", "RMSE(%)", "RealRMSE", "MAE")
+	var best predict.Predictor
+	bestRMSE := 1e18
+	for _, m := range predict.All(1) {
+		if err := m.Train(h, days-evalDays); err != nil {
+			log.Fatal(err)
+		}
+		res, err := predict.Evaluate(m, h, days-evalDays, days)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %10.2f %10.2f %10.2f\n",
+			res.Model, res.RelativeRMSE, res.RealRMSE, res.MAE)
+		if res.RelativeRMSE < bestRMSE {
+			bestRMSE = res.RelativeRMSE
+			best = m
+		}
+	}
+
+	// Pick the busiest region and compare forecast vs realized at 8 AM
+	// (slot 16 of 48) across the held-out week.
+	grid := city.Grid()
+	busiest := 0
+	bv := -1.0
+	for r := 0; r < grid.NumRegions(); r++ {
+		if v := city.Intensity(0, 8*60, r); v > bv {
+			bv, busiest = v, r
+		}
+	}
+	fmt.Printf("\nbusiest region, 8:00 slot, held-out week (%s):\n", best.Name())
+	fmt.Printf("%-6s %10s %10s\n", "day", "forecast", "realized")
+	for day := days - evalDays; day < days; day++ {
+		fc := best.Predict(h, day, 16, busiest)
+		fmt.Printf("%-6d %10.1f %10.0f\n", day, fc, h.At(day, 16, busiest))
+	}
+}

@@ -1,0 +1,52 @@
+// Fleet sizing: sweep the fleet from scarcity to saturation and watch
+// every algorithm's revenue approach the UPPER bound — the dynamics of
+// the paper's Figure 7. A platform operator can read off the smallest
+// fleet that captures a target fraction of the attainable revenue.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrvd"
+)
+
+func main() {
+	city := mrvd.NewCity(mrvd.CityConfig{
+		OrdersPerDay:    28000,
+		BaseWaitSeconds: 120,
+		Seed:            3,
+	})
+	fleets := []int{50, 100, 200, 350, 500}
+	algs := []string{"LS", "NEAR", "RAND", "UPPER"}
+
+	fmt.Println("revenue vs fleet size (28K daily orders)")
+	fmt.Printf("%-8s", "fleet")
+	for _, a := range algs {
+		fmt.Printf("%14s", a)
+	}
+	fmt.Printf("%14s\n", "LS %of UPPER")
+
+	for _, n := range fleets {
+		fmt.Printf("%-8d", n)
+		revenues := map[string]float64{}
+		for _, a := range algs {
+			runner := mrvd.NewRunner(mrvd.Options{
+				City:       city,
+				NumDrivers: n,
+				Delta:      5,
+			})
+			d, err := mrvd.NewDispatcher(a, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m, err := runner.Run(d, mrvd.PredictOracle, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			revenues[a] = m.Revenue
+			fmt.Printf("%14.0f", m.Revenue)
+		}
+		fmt.Printf("%13.1f%%\n", 100*revenues["LS"]/revenues["UPPER"])
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mrvd/internal/dispatch"
+	"mrvd/internal/geo"
+	"mrvd/internal/predict"
+	"mrvd/internal/queueing"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/sim"
+	"mrvd/internal/trace"
+	"mrvd/internal/workload"
+)
+
+// PredictionMode selects where the framework's |^R_k| forecasts come
+// from, mirroring the paper's -P (predicted) and -R (real demand)
+// algorithm variants.
+type PredictionMode int
+
+// Prediction modes.
+const (
+	// PredictNone feeds zero forecasts: the queueing analysis sees only
+	// the current batch.
+	PredictNone PredictionMode = iota
+	// PredictOracle feeds the workload's noiseless intensities — the
+	// paper's "Real" column.
+	PredictOracle
+	// PredictModel feeds a trained predictor's forecasts computed from
+	// realized counts strictly before each slot.
+	PredictModel
+)
+
+// Options configures a Runner.
+type Options struct {
+	// City provides the workload; nil builds the default scaled NYC-like
+	// city.
+	City *workload.City
+	// NumDrivers is the fleet size (default 100).
+	NumDrivers int
+	// Delta, TC, Horizon are the batch interval, scheduling window and
+	// simulated span in seconds (defaults 3, 1200, 86400 — Table 2's
+	// defaults).
+	Delta, TC, Horizon float64
+	// Coster prices travel (default Manhattan at 11 m/s).
+	Coster roadnet.Coster
+	// Seed drives instance randomness (trace sampling, driver starts).
+	Seed int64
+	// TrainDays is the history length for model-based prediction
+	// (default MinLookbackDays+14). The test day is day TrainDays.
+	TrainDays int
+	// SlotSeconds is the prediction slot width (default 1800, the
+	// paper's 30 minutes).
+	SlotSeconds float64
+	// Repositioner optionally relocates long-idle drivers (see
+	// sim.Repositioner); nil keeps the paper's stay-at-dropoff behaviour.
+	Repositioner sim.Repositioner
+	// RepositionAfter is the idle threshold before repositioning fires.
+	RepositionAfter float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.City == nil {
+		o.City = workload.NewCity(workload.CityConfig{OrdersPerDay: 28000, Seed: 31})
+	}
+	if o.NumDrivers <= 0 {
+		o.NumDrivers = 100
+	}
+	if o.Delta <= 0 {
+		o.Delta = 3
+	}
+	if o.TC <= 0 {
+		o.TC = 1200
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 24 * 3600
+	}
+	if o.TrainDays <= 0 {
+		o.TrainDays = predict.MinLookbackDays + 14
+	}
+	if o.SlotSeconds <= 0 {
+		o.SlotSeconds = 1800
+	}
+	return o
+}
+
+// Runner owns one problem instance — a generated test day, a starting
+// fleet, and cached prediction state — and executes dispatch algorithms
+// over it (Algorithm 1).
+type Runner struct {
+	opts     Options
+	orders   []trace.Order
+	starts   []geo.Point
+	expected [][]float64 // oracle slot x region intensities of the test day
+
+	history    *predict.History // lazily built: train days + test day realized counts
+	trainedSet map[string]predict.Predictor
+}
+
+// NewRunner materializes the problem instance: the test-day trace is
+// generated from the city and drivers start at sampled pickup locations
+// (the paper's initialization, Section 6.2).
+func NewRunner(opts Options) *Runner {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	orders := opts.City.GenerateDay(opts.TrainDays, rng)
+	starts := opts.City.InitialDrivers(opts.NumDrivers, orders, rng)
+	return NewRunnerWithOrders(opts, orders, starts)
+}
+
+// NewRunnerWithOrders builds a runner over an externally supplied trace
+// (e.g., a converted TLC extract) and explicit driver start positions.
+// The city still provides the grid and the oracle/trained predictions.
+func NewRunnerWithOrders(opts Options, orders []trace.Order, starts []geo.Point) *Runner {
+	opts = opts.withDefaults()
+	return &Runner{
+		opts:       opts,
+		orders:     orders,
+		starts:     starts,
+		expected:   opts.City.ExpectedDayCounts(opts.TrainDays, opts.SlotSeconds),
+		trainedSet: make(map[string]predict.Predictor),
+	}
+}
+
+// Orders exposes the test-day trace.
+func (r *Runner) Orders() []trace.Order { return r.orders }
+
+// Options returns the (defaulted) options.
+func (r *Runner) Options() Options { return r.opts }
+
+// History returns the runner's count history: the training days plus the
+// test day's realized counts (predictors only read strictly-past cells,
+// so appending the whole day is sound). It is built lazily and cached.
+func (r *Runner) History() *predict.History { return r.ensureHistory() }
+
+// ShareFrom copies another runner's built history and trained predictors.
+// Valid only when both runners use the same city, TrainDays, SlotSeconds
+// and instance seed (so orders — and hence the appended test-day counts —
+// are identical); it exists so parameter sweeps that vary only the fleet
+// size or batch timing don't regenerate months of history per point.
+func (r *Runner) ShareFrom(other *Runner) {
+	r.history = other.history
+	for k, v := range other.trainedSet {
+		r.trainedSet[k] = v
+	}
+}
+
+// ensureHistory builds the history on first use.
+func (r *Runner) ensureHistory() *predict.History {
+	if r.history != nil {
+		return r.history
+	}
+	h := predict.GenerateHistory(r.opts.City, r.opts.TrainDays, r.opts.SlotSeconds, r.opts.Seed+1000)
+	dayCounts := trace.CountPerSlot(r.orders, r.opts.City.Grid(), r.opts.SlotSeconds, float64(workload.DaySeconds))
+	// CountPerSlot returns horizon/slot+1 rows; trim to the history's
+	// slots-per-day shape.
+	if len(dayCounts) > h.SlotsPerDay {
+		dayCounts = dayCounts[:h.SlotsPerDay]
+	}
+	h.AppendDay(dayCounts, r.opts.City.DayMeta(r.opts.TrainDays))
+	r.history = h
+	return h
+}
+
+// TrainedPredictor returns a predictor trained on the runner's history,
+// caching by model name. Training excludes the test day.
+func (r *Runner) TrainedPredictor(m predict.Predictor) (predict.Predictor, error) {
+	if p, ok := r.trainedSet[m.Name()]; ok {
+		return p, nil
+	}
+	h := r.ensureHistory()
+	if err := m.Train(h, r.opts.TrainDays); err != nil {
+		return nil, fmt.Errorf("core: training %s: %w", m.Name(), err)
+	}
+	r.trainedSet[m.Name()] = m
+	return m, nil
+}
+
+// windowCounts converts per-slot forecasts into expected counts for the
+// window [now, now+tc], weighting each slot by its fractional overlap.
+func windowCounts(now, tc, slotSeconds float64, numSlots int, slotCount func(slot, region int) float64, numRegions int) []int {
+	out := make([]int, numRegions)
+	acc := make([]float64, numRegions)
+	end := now + tc
+	firstSlot := int(now / slotSeconds)
+	lastSlot := int(end / slotSeconds)
+	for s := firstSlot; s <= lastSlot; s++ {
+		slot := s
+		if slot >= numSlots {
+			slot = numSlots - 1
+		}
+		slotStart := float64(s) * slotSeconds
+		slotEnd := slotStart + slotSeconds
+		lo := now
+		if slotStart > lo {
+			lo = slotStart
+		}
+		hi := end
+		if slotEnd < hi {
+			hi = slotEnd
+		}
+		if hi <= lo {
+			continue
+		}
+		frac := (hi - lo) / slotSeconds
+		for k := 0; k < numRegions; k++ {
+			acc[k] += frac * slotCount(slot, k)
+		}
+	}
+	for k := range out {
+		out[k] = int(acc[k] + 0.5)
+	}
+	return out
+}
+
+// predictFn builds the simulator's PredictRiders callback for a mode.
+func (r *Runner) predictFn(mode PredictionMode, model predict.Predictor) (func(now, tc float64) []int, error) {
+	grid := r.opts.City.Grid()
+	n := grid.NumRegions()
+	switch mode {
+	case PredictNone:
+		return nil, nil
+	case PredictOracle:
+		return func(now, tc float64) []int {
+			return windowCounts(now, tc, r.opts.SlotSeconds, len(r.expected),
+				func(slot, region int) float64 { return r.expected[slot][region] }, n)
+		}, nil
+	case PredictModel:
+		if model == nil {
+			return nil, fmt.Errorf("core: PredictModel requires a predictor")
+		}
+		trained, err := r.TrainedPredictor(model)
+		if err != nil {
+			return nil, err
+		}
+		h := r.ensureHistory()
+		testDay := r.opts.TrainDays
+		// Memoize per-slot forecasts: the callback fires every batch.
+		cache := make(map[int][]float64)
+		slotCount := func(slot, region int) float64 {
+			row, ok := cache[slot]
+			if !ok {
+				row = make([]float64, n)
+				for k := 0; k < n; k++ {
+					row[k] = trained.Predict(h, testDay, slot, k)
+				}
+				cache[slot] = row
+			}
+			return row[region]
+		}
+		return func(now, tc float64) []int {
+			return windowCounts(now, tc, r.opts.SlotSeconds, h.SlotsPerDay, slotCount, n)
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown prediction mode %d", mode)
+	}
+}
+
+// Run executes one algorithm over the instance and returns its metrics.
+// model is only consulted in PredictModel mode.
+func (r *Runner) Run(d sim.Dispatcher, mode PredictionMode, model predict.Predictor) (*sim.Metrics, error) {
+	fn, err := r.predictFn(mode, model)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		Grid:            r.opts.City.Grid(),
+		Coster:          r.opts.Coster,
+		Delta:           r.opts.Delta,
+		TC:              r.opts.TC,
+		Horizon:         r.opts.Horizon,
+		PredictRiders:   fn,
+		Repositioner:    r.opts.Repositioner,
+		RepositionAfter: r.opts.RepositionAfter,
+	}
+	return sim.New(cfg, r.orders, r.starts).Run(d)
+}
+
+// AlgorithmNames lists the dispatchers NewDispatcher accepts, in the
+// paper's reporting order.
+func AlgorithmNames() []string {
+	return []string{"IRG", "LS", "SHORT", "LTG", "NEAR", "RAND", "POLAR", "UPPER"}
+}
+
+// NewDispatcher builds a fresh dispatcher by name. Stateful dispatchers
+// (RAND, POLAR) must not be shared across runs; call this per run.
+func NewDispatcher(name string, seed int64) (sim.Dispatcher, error) {
+	switch name {
+	case "IRG":
+		return &dispatch.IRG{Model: queueing.NewDefault()}, nil
+	case "LS":
+		return &dispatch.LS{Model: queueing.NewDefault()}, nil
+	case "SHORT":
+		return &dispatch.SHORT{Model: queueing.NewDefault()}, nil
+	case "LTG":
+		return dispatch.LTG{}, nil
+	case "NEAR":
+		return dispatch.NEAR{}, nil
+	case "RAND":
+		return &dispatch.RAND{Seed: seed}, nil
+	case "POLAR":
+		return &dispatch.POLAR{}, nil
+	case "UPPER":
+		return dispatch.UPPER{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", name, AlgorithmNames())
+	}
+}

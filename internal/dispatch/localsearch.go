@@ -1,0 +1,241 @@
+package dispatch
+
+import (
+	"sort"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/queueing"
+	"mrvd/internal/sim"
+)
+
+// LS is the local search of Algorithm 3: it seeds with another
+// dispatcher's assignment (IRG by default, per the paper) and repeatedly
+// updates a driver's assigned rider to a valid rider with a smaller idle
+// ratio, until a fixed point (convergence is Lemma 5.1).
+//
+// The paper's neighbourhood "r' in R_j" ranges over all valid riders of
+// driver d_j, including riders currently assigned to other drivers.
+// Swapping to an assigned rider only helps when the displaced pieces can
+// be re-served, so this implementation realizes that neighbourhood as
+// three move types per sweep:
+//
+//  1. direct fill — an unassigned rider with an idle valid driver is
+//     assigned (lowest idle ratio first);
+//  2. improving swap — a driver trades its rider for an unassigned valid
+//     rider with a strictly smaller idle ratio;
+//  3. augmenting chain — an unassigned rider u takes a busy driver d
+//     whose rider r moves to an idle driver that can still reach r
+//     (a length-3 alternating path), growing the served set.
+type LS struct {
+	// Model is the queueing model; nil defaults to queueing.NewDefault().
+	Model *queueing.Model
+	// Seed produces the initial assignment; nil defaults to &IRG{Model}.
+	Seed sim.Dispatcher
+	// MaxIterations bounds the sweep count (the paper's L_max).
+	// Default 16.
+	MaxIterations int
+}
+
+// Name implements sim.Dispatcher.
+func (l *LS) Name() string { return "LS" }
+
+func (l *LS) init() {
+	if l.Model == nil {
+		l.Model = queueing.NewDefault()
+	}
+	if l.Seed == nil {
+		l.Seed = &IRG{Model: l.Model}
+	}
+	if l.MaxIterations <= 0 {
+		l.MaxIterations = 16
+	}
+}
+
+// lsState carries the mutable search state across move types.
+type lsState struct {
+	ctx           *sim.Context
+	a             *queueing.Analyzer
+	assignedRider []int32 // driver -> rider or -1
+	riderDriver   []int32 // rider -> driver or -1
+	pairsByDriver [][]sim.Pair
+	pairsByRider  [][]sim.Pair
+}
+
+func (s *lsState) assign(r, d int32) {
+	s.assignedRider[d] = r
+	s.riderDriver[r] = d
+	s.a.CommitDestination(int(s.ctx.Riders[r].DestRegion))
+}
+
+func (s *lsState) release(d int32) int32 {
+	r := s.assignedRider[d]
+	if r == -1 {
+		return -1
+	}
+	s.assignedRider[d] = -1
+	s.riderDriver[r] = -1
+	s.a.UncommitDestination(int(s.ctx.Riders[r].DestRegion))
+	return r
+}
+
+// Assign implements sim.Dispatcher.
+func (l *LS) Assign(ctx *sim.Context) []sim.Assignment {
+	l.init()
+	seed := l.Seed.Assign(ctx)
+
+	s := &lsState{
+		ctx:           ctx,
+		a:             buildAnalyzer(l.Model, ctx),
+		assignedRider: make([]int32, len(ctx.Drivers)),
+		riderDriver:   make([]int32, len(ctx.Riders)),
+		pairsByDriver: make([][]sim.Pair, len(ctx.Drivers)),
+		pairsByRider:  make([][]sim.Pair, len(ctx.Riders)),
+	}
+	for i := range s.assignedRider {
+		s.assignedRider[i] = -1
+	}
+	for i := range s.riderDriver {
+		s.riderDriver[i] = -1
+	}
+	for _, p := range ctx.Pairs {
+		s.pairsByDriver[p.D] = append(s.pairsByDriver[p.D], p)
+		s.pairsByRider[p.R] = append(s.pairsByRider[p.R], p)
+	}
+	for _, as := range seed {
+		s.assign(as.R, as.D)
+	}
+
+	for iter := 0; iter < l.MaxIterations; iter++ {
+		changed := s.directFills()
+		changed = s.improvingSwaps() || changed
+		changed = s.augmentingChains() || changed
+		if !changed {
+			break
+		}
+	}
+
+	var out []sim.Assignment
+	for d, r := range s.assignedRider {
+		if r != -1 {
+			out = append(out, sim.Assignment{R: r, D: int32(d)})
+		}
+	}
+	return out
+}
+
+// directFills assigns unassigned riders to idle valid drivers, lowest
+// idle ratio first.
+func (s *lsState) directFills() bool {
+	type cand struct {
+		ir   float64
+		r, d int32
+	}
+	var cands []cand
+	for r := range s.ctx.Riders {
+		if s.riderDriver[r] != -1 {
+			continue
+		}
+		for _, p := range s.pairsByRider[r] {
+			if s.assignedRider[p.D] != -1 {
+				continue
+			}
+			ir := s.a.IdleRatio(p.TripCost, int(p.DestRegion))
+			cands = append(cands, cand{ir: ir, r: p.R, d: p.D})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ir != cands[j].ir {
+			return cands[i].ir < cands[j].ir
+		}
+		if cands[i].r != cands[j].r {
+			return cands[i].r < cands[j].r
+		}
+		return cands[i].d < cands[j].d
+	})
+	changed := false
+	for _, c := range cands {
+		if s.riderDriver[c.r] != -1 || s.assignedRider[c.d] != -1 {
+			continue
+		}
+		s.assign(c.r, c.d)
+		changed = true
+	}
+	return changed
+}
+
+// improvingSwaps trades a driver's rider for an unassigned valid rider
+// with a strictly smaller idle ratio, both evaluated with the driver's
+// current commitment released.
+func (s *lsState) improvingSwaps() bool {
+	changed := false
+	for d := range s.assignedRider {
+		cur := s.assignedRider[d]
+		if cur == -1 {
+			continue
+		}
+		curDest := int(s.ctx.Riders[cur].DestRegion)
+		s.a.UncommitDestination(curDest)
+		curIR := s.a.IdleRatio(s.ctx.Riders[cur].TripCost, curDest)
+		bestR := int32(-1)
+		bestIR := curIR
+		for _, p := range s.pairsByDriver[d] {
+			if p.R == cur || s.riderDriver[p.R] != -1 {
+				continue
+			}
+			if ir := s.a.IdleRatio(p.TripCost, int(p.DestRegion)); ir < bestIR {
+				bestIR = ir
+				bestR = p.R
+			}
+		}
+		s.a.CommitDestination(curDest) // restore before mutating via assign/release
+		if bestR != -1 {
+			s.release(int32(d))
+			s.assign(bestR, int32(d))
+			changed = true
+		}
+	}
+	return changed
+}
+
+// augmentingChains serves an unassigned rider u by taking a busy driver
+// d and moving d's rider r to an idle driver that can still reach r —
+// the length-3 alternating path that grows the matching.
+func (s *lsState) augmentingChains() bool {
+	changed := false
+	for u := range s.ctx.Riders {
+		if s.riderDriver[u] != -1 {
+			continue
+		}
+	chain:
+		for _, pu := range s.pairsByRider[u] {
+			d := pu.D
+			r := s.assignedRider[d]
+			if r == -1 {
+				// Idle driver: directFills missed it only if it raced a
+				// previous chain this sweep; take it directly.
+				s.assign(int32(u), d)
+				changed = true
+				break chain
+			}
+			for _, pr := range s.pairsByRider[r] {
+				if pr.D == d || s.assignedRider[pr.D] != -1 {
+					continue
+				}
+				// Move r to the idle driver, free d for u.
+				s.release(d)
+				s.assign(r, pr.D)
+				s.assign(int32(u), d)
+				changed = true
+				break chain
+			}
+		}
+	}
+	return changed
+}
+
+// EstimateIdle implements sim.IdleEstimating with the state-conditional
+// T(n) of Section 4.2 (see IRG.EstimateIdle).
+func (l *LS) EstimateIdle(ctx *sim.Context, region geo.RegionID) float64 {
+	l.init()
+	return conditionalIdleEstimate(l.Model, ctx, region)
+}

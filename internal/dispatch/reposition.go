@@ -1,0 +1,73 @@
+package dispatch
+
+import (
+	"math"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/queueing"
+	"mrvd/internal/sim"
+)
+
+// QueueReposition is a sim.Repositioner that sends long-idle drivers
+// toward the neighbouring region with the smallest expected idle time —
+// the natural extension of the paper's framework from passive
+// destination steering to active supply rebalancing (its future-work
+// direction). A driver only moves when the best neighbour's ET beats the
+// current region's by MinGain seconds, avoiding churn between
+// near-equivalent regions.
+type QueueReposition struct {
+	// Model is the queueing model; nil defaults to queueing.NewDefault().
+	Model *queueing.Model
+	// MinGain is the ET improvement (seconds) required to move.
+	// Default 120.
+	MinGain float64
+	// MaxHops limits how far (in region rings) a move may target.
+	// Default 1 (adjacent regions only).
+	MaxHops int
+}
+
+// Target implements sim.Repositioner.
+func (q *QueueReposition) Target(ctx *sim.Context, driver *sim.Driver, region geo.RegionID) (geo.Point, bool) {
+	if q.Model == nil {
+		q.Model = queueing.NewDefault()
+	}
+	if q.MinGain <= 0 {
+		q.MinGain = 120
+	}
+	if q.MaxHops <= 0 {
+		q.MaxHops = 1
+	}
+	a := buildAnalyzer(q.Model, ctx)
+	if !ctx.Grid.Valid(region) {
+		return geo.Point{}, false
+	}
+	here := a.ExpectedIdleTime(int(region))
+	best := here
+	bestRegion := geo.RegionID(-1)
+	frontier := []geo.RegionID{region}
+	seen := map[geo.RegionID]bool{region: true}
+	for hop := 0; hop < q.MaxHops; hop++ {
+		var next []geo.RegionID
+		for _, r := range frontier {
+			for _, nb := range ctx.Grid.Neighbors(r) {
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				next = append(next, nb)
+				if et := a.ExpectedIdleTime(int(nb)); et < best {
+					best = et
+					bestRegion = nb
+				}
+			}
+		}
+		frontier = next
+	}
+	if bestRegion < 0 || math.IsInf(here, 1) && math.IsInf(best, 1) {
+		return geo.Point{}, false
+	}
+	if !math.IsInf(here, 1) && here-best < q.MinGain {
+		return geo.Point{}, false
+	}
+	return ctx.Grid.Center(bestRegion), true
+}

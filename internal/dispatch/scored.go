@@ -1,0 +1,127 @@
+package dispatch
+
+import (
+	"container/heap"
+
+	"mrvd/internal/queueing"
+	"mrvd/internal/sim"
+)
+
+// buildAnalyzer snapshots a batch context into a queueing analyzer with
+// the region states of Algorithm 1 lines 3-6.
+func buildAnalyzer(model *queueing.Model, ctx *sim.Context) *queueing.Analyzer {
+	n := ctx.Grid.NumRegions()
+	a := queueing.NewAnalyzer(model, n, ctx.TC)
+	states := make([]queueing.RegionState, n)
+	for k := 0; k < n; k++ {
+		states[k] = queueing.RegionState{
+			Waiting:          ctx.WaitingPerRegion[k],
+			Available:        ctx.AvailablePerRegion[k],
+			PredictedRiders:  ctx.PredictedRiders[k],
+			PredictedDrivers: ctx.PredictedDrivers[k],
+		}
+	}
+	a.Reset(states)
+	return a
+}
+
+// pairScore computes a pair's priority; smaller is better. It receives
+// the destination region's current expected idle time.
+type pairScore func(p sim.Pair, et float64) float64
+
+// scoredItem is one heap entry with the region version it was scored at.
+type scoredItem struct {
+	score   float64
+	pairIdx int32
+	version int32
+}
+
+type scoredHeap []scoredItem
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].pairIdx < h[j].pairIdx // deterministic tie-break
+}
+func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(scoredItem)) }
+func (h *scoredHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// greedyByScore runs the exact greedy shared by IRG and SHORT:
+// repeatedly take the minimum-score valid pair, commit it, and bump the
+// destination region's mu (Algorithm 2 line 11).
+//
+// A committed driver changes its destination region's ET — and not
+// monotonically: the paper's lambda > mu closed form (Eq. 10) sums the
+// congested-driver side to infinity while the lambda <= mu forms
+// truncate at K, so crossing the regime boundary can *lower* ET. Lazy
+// rescoring therefore cannot rely on scores only growing. Instead, this
+// follows the paper's own bookkeeping ("update mu(k) and the idle ratio
+// of related pairs", Algorithm 2 line 11): each commit pushes fresh
+// entries for every still-viable pair destined to the updated region,
+// and entries whose region version is stale are discarded on pop. The
+// heap thus always holds a current-score entry for every viable pair,
+// so the popped current-version minimum is the true greedy choice.
+func greedyByScore(ctx *sim.Context, a *queueing.Analyzer, score pairScore) []sim.Assignment {
+	versions := make([]int32, ctx.Grid.NumRegions())
+	// pairsByRegion indexes pairs by destination for the commit-time
+	// rescoring sweep.
+	pairsByRegion := make([][]int32, ctx.Grid.NumRegions())
+	for i, p := range ctx.Pairs {
+		pairsByRegion[p.DestRegion] = append(pairsByRegion[p.DestRegion], int32(i))
+	}
+
+	h := make(scoredHeap, 0, len(ctx.Pairs))
+	for i, p := range ctx.Pairs {
+		h = append(h, scoredItem{
+			score:   score(p, a.ExpectedIdleTime(int(p.DestRegion))),
+			pairIdx: int32(i),
+			version: versions[p.DestRegion],
+		})
+	}
+	heap.Init(&h)
+
+	usedR := make([]bool, len(ctx.Riders))
+	usedD := make([]bool, len(ctx.Drivers))
+	var out []sim.Assignment
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(scoredItem)
+		p := ctx.Pairs[it.pairIdx]
+		if usedR[p.R] || usedD[p.D] {
+			continue
+		}
+		if it.version != versions[p.DestRegion] {
+			// Superseded: a fresh entry was pushed when the region was
+			// last committed to.
+			continue
+		}
+		usedR[p.R] = true
+		usedD[p.D] = true
+		out = append(out, sim.Assignment{R: p.R, D: p.D})
+		region := int(p.DestRegion)
+		a.CommitDestination(region)
+		versions[p.DestRegion]++
+		// Rescore the region's remaining pairs under the new ET.
+		et := a.ExpectedIdleTime(region)
+		for _, pi := range pairsByRegion[p.DestRegion] {
+			rp := ctx.Pairs[pi]
+			if usedR[rp.R] || usedD[rp.D] {
+				continue
+			}
+			heap.Push(&h, scoredItem{
+				score:   score(rp, et),
+				pairIdx: pi,
+				version: versions[p.DestRegion],
+			})
+		}
+	}
+	return out
+}

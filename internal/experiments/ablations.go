@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"mrvd/internal/core"
+	"mrvd/internal/dispatch"
+	"mrvd/internal/queueing"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "ablation-reneging", Title: "Reneging exponent beta: effect on IRG revenue and idle-estimate accuracy", Run: runAblationReneging})
+	register(Experiment{ID: "ablation-lsseed", Title: "LS seeded by IRG vs seeded by RAND", Run: runAblationLSSeed})
+	register(Experiment{ID: "ablation-coster", Title: "Great-circle coster vs road-network shortest paths", Run: runAblationCoster})
+	register(Experiment{ID: "ablation-muupdate", Title: "IRG with vs without the mu feedback of Algorithm 2 line 11", Run: runAblationMuUpdate})
+	register(Experiment{ID: "ablation-reposition", Title: "IRG with vs without queue-guided idle-driver repositioning (framework extension)", Run: runAblationReposition})
+}
+
+// runDirect executes a concrete dispatcher (not the name factory) over
+// the configured instance seeds and returns mean revenue, served count,
+// and mean idle-estimate absolute error where estimates exist.
+func (c Config) runDirect(opts core.Options, mk func(seed int64) sim.Dispatcher, mode core.PredictionMode) (revenue, served, idleMAE float64, err error) {
+	maeSum, maeN := 0.0, 0
+	for seed := int64(1); seed <= int64(c.Seeds); seed++ {
+		o := opts
+		o.Seed = seed
+		runner := core.NewRunner(o)
+		m, rerr := runner.Run(mk(seed), mode, nil)
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		revenue += m.Revenue
+		served += float64(m.Served)
+		for _, rec := range m.IdleRecords {
+			if rec.Estimate == rec.Estimate && !isInf(rec.Estimate) { // not NaN, not Inf
+				d := rec.Estimate - rec.Realized
+				if d < 0 {
+					d = -d
+				}
+				maeSum += d
+				maeN++
+			}
+		}
+	}
+	n := float64(c.Seeds)
+	if maeN > 0 {
+		idleMAE = maeSum / float64(maeN)
+	}
+	return revenue / n, served / n, idleMAE, nil
+}
+
+func isInf(x float64) bool { return x > 1e300 || x < -1e300 }
+
+func runAblationReneging(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	city := cfg.city(120)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "beta\trevenue\tserved\tidle-estimate MAE (s)\n")
+	for _, beta := range []float64{0, 0.02, 0.05, 0.1, 0.2} {
+		model := queueing.New(queueing.Config{Beta: beta})
+		rev, served, mae, err := cfg.runDirect(
+			core.Options{City: city, NumDrivers: cfg.Drivers(1000)},
+			func(int64) sim.Dispatcher { return &dispatch.IRG{Model: model} },
+			core.PredictOracle)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%.2f\t%.4g\t%.0f\t%.2f\n", beta, rev, served, mae)
+	}
+	return tw.Flush()
+}
+
+func runAblationLSSeed(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	city := cfg.city(120)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "LS seed\trevenue\tserved\n")
+	seeds := []struct {
+		label string
+		mk    func(seed int64) sim.Dispatcher
+	}{
+		{"IRG (paper)", func(int64) sim.Dispatcher { return &dispatch.LS{} }},
+		{"RAND", func(seed int64) sim.Dispatcher {
+			return &dispatch.LS{Seed: &dispatch.RAND{Seed: seed}}
+		}},
+		{"NEAR", func(int64) sim.Dispatcher {
+			return &dispatch.LS{Seed: dispatch.NEAR{}}
+		}},
+	}
+	for _, s := range seeds {
+		rev, served, _, err := cfg.runDirect(
+			core.Options{City: city, NumDrivers: cfg.Drivers(1000)}, s.mk, core.PredictOracle)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.0f\n", s.label, rev, served)
+	}
+	return tw.Flush()
+}
+
+func runAblationCoster(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	// The graph coster runs Dijkstra per query; keep this ablation small
+	// regardless of the configured scale.
+	small := cfg
+	if small.Scale > 0.05 {
+		small.Scale = 0.05
+	}
+	city := small.city(120)
+	network := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: small.CitySeed})
+	costers := []struct {
+		label string
+		c     roadnet.Coster
+	}{
+		{"manhattan@11m/s (default)", roadnet.NewDefaultCoster()},
+		{"euclid x1.3 detour", &roadnet.GreatCircleCoster{SpeedMPS: roadnet.DefaultSpeedMPS, DetourFactor: 1.3}},
+		{"road-network dijkstra", roadnet.NewGraphCoster(network)},
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "coster\tIRG revenue\tserved\tavg batch (s)\n")
+	for _, c := range costers {
+		var rev, served, batch float64
+		for seed := int64(1); seed <= int64(small.Seeds); seed++ {
+			runner := core.NewRunner(core.Options{
+				City: city, NumDrivers: small.Drivers(1000), Seed: seed, Coster: c.c,
+				Delta: 10, // fewer batches: Dijkstra-backed costs are slow
+			})
+			d, err := core.NewDispatcher("IRG", seed)
+			if err != nil {
+				return err
+			}
+			m, err := runner.Run(d, core.PredictOracle, nil)
+			if err != nil {
+				return err
+			}
+			rev += m.Revenue
+			served += float64(m.Served)
+			batch += m.AvgBatchSeconds()
+		}
+		n := float64(small.Seeds)
+		fmt.Fprintf(tw, "%s\t%.4g\t%.0f\t%.4f\n", c.label, rev/n, served/n, batch/n)
+	}
+	return tw.Flush()
+}
+
+func runAblationMuUpdate(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	city := cfg.city(120)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "IRG variant\trevenue\tserved\n")
+	variants := []struct {
+		label string
+		mk    func(seed int64) sim.Dispatcher
+	}{
+		{"mu update on (Alg. 2 line 11)", func(int64) sim.Dispatcher { return &dispatch.IRG{} }},
+		{"mu update off (frozen scores)", func(int64) sim.Dispatcher { return &dispatch.IRG{DisableMuUpdate: true} }},
+	}
+	for _, v := range variants {
+		rev, served, _, err := cfg.runDirect(
+			core.Options{City: city, NumDrivers: cfg.Drivers(1000)}, v.mk, core.PredictOracle)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.0f\n", v.label, rev, served)
+	}
+	return tw.Flush()
+}
+
+func runAblationReposition(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	city := cfg.city(120)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "repositioning\trevenue\tserved\n")
+	variants := []struct {
+		label string
+		opts  func() core.Options
+	}{
+		{"off (paper base)", func() core.Options {
+			return core.Options{City: city, NumDrivers: cfg.Drivers(1000)}
+		}},
+		{"queue-guided (extension)", func() core.Options {
+			return core.Options{
+				City: city, NumDrivers: cfg.Drivers(1000),
+				Repositioner: &dispatch.QueueReposition{}, RepositionAfter: 240,
+			}
+		}},
+	}
+	for _, v := range variants {
+		rev, served, _, err := cfg.runDirect(v.opts(),
+			func(int64) sim.Dispatcher { return &dispatch.IRG{} }, core.PredictOracle)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.0f\n", v.label, rev, served)
+	}
+	return tw.Flush()
+}

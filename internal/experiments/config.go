@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mrvd/internal/core"
+	"mrvd/internal/predict"
+	"mrvd/internal/sim"
+	"mrvd/internal/workload"
+)
+
+// paperOrdersPerDay is the NYC test day's order volume (Section 6.1).
+const paperOrdersPerDay = 282255
+
+// paperDriverUnit is the paper's "1K" fleet step.
+const paperDriverUnit = 1000
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Scale multiplies the paper's order volume and fleet sizes.
+	// Default 0.25.
+	Scale float64
+	// Seeds is how many problem instances are averaged per data point
+	// (the paper uses 10). Default 3.
+	Seeds int
+	// CitySeed fixes the synthetic city's structure.
+	CitySeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.25
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.CitySeed == 0 {
+		c.CitySeed = 31
+	}
+	return c
+}
+
+// Orders returns the scaled daily order volume.
+func (c Config) Orders() int { return int(float64(paperOrdersPerDay)*c.Scale + 0.5) }
+
+// Drivers converts a paper fleet size ("1K" = 1000) to the scaled count.
+func (c Config) Drivers(paperN int) int {
+	n := int(float64(paperN)*c.Scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// city builds the experiment city at the configured scale.
+func (c Config) city(baseWait float64) *workload.City {
+	return workload.NewCity(workload.CityConfig{
+		OrdersPerDay:    c.Orders(),
+		BaseWaitSeconds: baseWait,
+		Seed:            c.CitySeed,
+	})
+}
+
+// runPoint executes one (algorithm, options) data point averaged over
+// the configured instance seeds, returning mean revenue, mean served
+// count, and mean per-batch wall time in seconds.
+func (c Config) runPoint(opts core.Options, alg string, mode core.PredictionMode, model predict.Predictor) (revenue, served, batchSec float64, err error) {
+	for seed := int64(1); seed <= int64(c.Seeds); seed++ {
+		o := opts
+		o.Seed = seed
+		runner := core.NewRunner(o)
+		d, derr := core.NewDispatcher(alg, seed)
+		if derr != nil {
+			return 0, 0, 0, derr
+		}
+		var m *sim.Metrics
+		m, err = runner.Run(d, mode, model)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%s seed %d: %w", alg, seed, err)
+		}
+		revenue += m.Revenue
+		served += float64(m.Served)
+		batchSec += m.AvgBatchSeconds()
+	}
+	n := float64(c.Seeds)
+	return revenue / n, served / n, batchSec / n, nil
+}
+
+// Experiment is one registered regenerator.
+type Experiment struct {
+	// ID is the paper artifact id ("table3", "fig7", "ablation-reneging").
+	ID string
+	// Title describes what the artifact shows.
+	Title string
+	// Run writes the regenerated table to w.
+	Run func(cfg Config, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Lookup returns a registered experiment.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs lists registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

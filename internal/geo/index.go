@@ -1,0 +1,152 @@
+package geo
+
+import "sort"
+
+// Index is a grid-bucketed spatial index over integer-keyed items (driver
+// IDs in the simulator). It supports insert, remove, move, and
+// radius-bounded nearest-neighbour queries. It is not safe for concurrent
+// mutation; the batch dispatcher owns it single-threaded.
+type Index struct {
+	grid    *Grid
+	buckets [][]int32       // region -> item ids
+	pos     map[int32]Point // item -> current location
+	slot    map[int32]int   // item -> index within its bucket
+	region  map[int32]RegionID
+}
+
+// NewIndex builds an empty index over the given grid.
+func NewIndex(grid *Grid) *Index {
+	return &Index{
+		grid:    grid,
+		buckets: make([][]int32, grid.NumRegions()),
+		pos:     make(map[int32]Point),
+		slot:    make(map[int32]int),
+		region:  make(map[int32]RegionID),
+	}
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return len(ix.pos) }
+
+// Insert adds an item at p. Points outside the grid are clamped to it,
+// matching how the simulator treats drivers that drift past the city
+// boundary. Inserting an existing id moves it instead.
+func (ix *Index) Insert(id int32, p Point) {
+	if _, ok := ix.pos[id]; ok {
+		ix.Move(id, p)
+		return
+	}
+	p = ix.grid.Bounds().Clamp(p)
+	r := ix.grid.Region(p)
+	ix.pos[id] = p
+	ix.region[id] = r
+	ix.slot[id] = len(ix.buckets[r])
+	ix.buckets[r] = append(ix.buckets[r], id)
+}
+
+// Remove deletes an item; unknown ids are a no-op.
+func (ix *Index) Remove(id int32) {
+	r, ok := ix.region[id]
+	if !ok {
+		return
+	}
+	b := ix.buckets[r]
+	i := ix.slot[id]
+	last := len(b) - 1
+	if i != last {
+		moved := b[last]
+		b[i] = moved
+		ix.slot[moved] = i
+	}
+	ix.buckets[r] = b[:last]
+	delete(ix.pos, id)
+	delete(ix.slot, id)
+	delete(ix.region, id)
+}
+
+// Move relocates an existing item; unknown ids are inserted.
+func (ix *Index) Move(id int32, p Point) {
+	if _, ok := ix.pos[id]; !ok {
+		ix.Insert(id, p)
+		return
+	}
+	p = ix.grid.Bounds().Clamp(p)
+	newR := ix.grid.Region(p)
+	oldR := ix.region[id]
+	ix.pos[id] = p
+	if newR == oldR {
+		return
+	}
+	// Remove from old bucket, append to new.
+	b := ix.buckets[oldR]
+	i := ix.slot[id]
+	last := len(b) - 1
+	if i != last {
+		moved := b[last]
+		b[i] = moved
+		ix.slot[moved] = i
+	}
+	ix.buckets[oldR] = b[:last]
+	ix.region[id] = newR
+	ix.slot[id] = len(ix.buckets[newR])
+	ix.buckets[newR] = append(ix.buckets[newR], id)
+}
+
+// Position returns an item's location and whether it is indexed.
+func (ix *Index) Position(id int32) (Point, bool) {
+	p, ok := ix.pos[id]
+	return p, ok
+}
+
+// Region returns the region an item currently occupies.
+func (ix *Index) RegionOf(id int32) (RegionID, bool) {
+	r, ok := ix.region[id]
+	return r, ok
+}
+
+// InRegion returns the ids bucketed in one region. The returned slice is
+// owned by the index; callers must not mutate it.
+func (ix *Index) InRegion(r RegionID) []int32 {
+	if !ix.grid.Valid(r) {
+		return nil
+	}
+	return ix.buckets[r]
+}
+
+// Neighbor pairs an item id with its distance from a query point.
+type Neighbor struct {
+	ID       int32
+	Distance float64 // meters (equirectangular)
+}
+
+// Within returns all items within radiusMeters of p, sorted by distance
+// then id (for determinism). It scans only the grid cells intersecting
+// the query circle.
+func (ix *Index) Within(p Point, radiusMeters float64) []Neighbor {
+	var out []Neighbor
+	for _, r := range ix.grid.RegionsWithin(p, radiusMeters) {
+		for _, id := range ix.buckets[r] {
+			d := Equirect(p, ix.pos[id])
+			if d <= radiusMeters {
+				out = append(out, Neighbor{ID: id, Distance: d})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Nearest returns up to k nearest items to p found within radiusMeters,
+// closest first.
+func (ix *Index) Nearest(p Point, k int, radiusMeters float64) []Neighbor {
+	ns := ix.Within(p, radiusMeters)
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}

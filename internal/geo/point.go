@@ -1,0 +1,101 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by all great-circle
+// computations in this package.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a WGS-84 coordinate. Lng is degrees east, Lat degrees north.
+type Point struct {
+	Lng float64
+	Lat float64
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("(%.5f, %.5f)", p.Lng, p.Lat)
+}
+
+// Haversine returns the great-circle distance between two points in
+// meters using the haversine formula, which is numerically stable at the
+// city scales this library works with.
+func Haversine(a, b Point) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLng := (b.Lng - a.Lng) * math.Pi / 180
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLng / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// Equirect returns the equirectangular-projection approximation of the
+// distance between two points in meters. Within a single city it is
+// accurate to a fraction of a percent and roughly 4x cheaper than
+// Haversine, so the hot paths (candidate generation) use it.
+func Equirect(a, b Point) float64 {
+	midLat := (a.Lat + b.Lat) / 2 * math.Pi / 180
+	x := (b.Lng - a.Lng) * math.Pi / 180 * math.Cos(midLat)
+	y := (b.Lat - a.Lat) * math.Pi / 180
+	return EarthRadiusMeters * math.Sqrt(x*x+y*y)
+}
+
+// Manhattan returns the L1 (taxicab) distance between two points in
+// meters under the equirectangular projection. Street networks make
+// straight-line travel impossible; L1 is the standard city approximation
+// and is what the synthetic road network's travel times converge to.
+func Manhattan(a, b Point) float64 {
+	midLat := (a.Lat + b.Lat) / 2 * math.Pi / 180
+	x := math.Abs((b.Lng-a.Lng)*math.Pi/180) * math.Cos(midLat)
+	y := math.Abs((b.Lat - a.Lat) * math.Pi / 180)
+	return EarthRadiusMeters * (x + y)
+}
+
+// BBox is a longitude/latitude axis-aligned bounding box.
+type BBox struct {
+	MinLng, MinLat float64
+	MaxLng, MaxLat float64
+}
+
+// NYCBBox is the New York City extent the paper's experiments use:
+// longitudes -74.03..-73.77, latitudes 40.58..40.92.
+var NYCBBox = BBox{MinLng: -74.03, MinLat: 40.58, MaxLng: -73.77, MaxLat: 40.92}
+
+// Contains reports whether p lies inside the box (inclusive edges).
+func (b BBox) Contains(p Point) bool {
+	return p.Lng >= b.MinLng && p.Lng <= b.MaxLng &&
+		p.Lat >= b.MinLat && p.Lat <= b.MaxLat
+}
+
+// Clamp returns p moved to the nearest point inside the box.
+func (b BBox) Clamp(p Point) Point {
+	return Point{
+		Lng: math.Min(b.MaxLng, math.Max(b.MinLng, p.Lng)),
+		Lat: math.Min(b.MaxLat, math.Max(b.MinLat, p.Lat)),
+	}
+}
+
+// Center returns the box's midpoint.
+func (b BBox) Center() Point {
+	return Point{Lng: (b.MinLng + b.MaxLng) / 2, Lat: (b.MinLat + b.MaxLat) / 2}
+}
+
+// WidthMeters returns the east-west extent of the box in meters measured
+// at its central latitude.
+func (b BBox) WidthMeters() float64 {
+	c := b.Center()
+	return Equirect(Point{Lng: b.MinLng, Lat: c.Lat}, Point{Lng: b.MaxLng, Lat: c.Lat})
+}
+
+// HeightMeters returns the north-south extent of the box in meters.
+func (b BBox) HeightMeters() float64 {
+	c := b.Center()
+	return Equirect(Point{Lng: c.Lng, Lat: b.MinLat}, Point{Lng: c.Lng, Lat: b.MaxLat})
+}

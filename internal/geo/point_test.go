@@ -1,0 +1,103 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Times Square to Wall Street is roughly 6.9 km.
+	timesSq := Point{Lng: -73.9855, Lat: 40.7580}
+	wallSt := Point{Lng: -74.0090, Lat: 40.7074}
+	d := Haversine(timesSq, wallSt)
+	if d < 5800 || d > 6200 {
+		t.Errorf("Haversine = %.0f m, want ~6000 m", d)
+	}
+}
+
+func TestHaversineZero(t *testing.T) {
+	p := Point{Lng: -73.9, Lat: 40.7}
+	if d := Haversine(p, p); d != 0 {
+		t.Errorf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	f := func(aLng, aLat, bLng, bLat float64) bool {
+		a := Point{Lng: math.Mod(aLng, 180), Lat: math.Mod(aLat, 90)}
+		b := Point{Lng: math.Mod(bLng, 180), Lat: math.Mod(bLat, 90)}
+		return math.Abs(Haversine(a, b)-Haversine(b, a)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquirectCloseToHaversineAtCityScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Point{
+			Lng: NYCBBox.MinLng + rng.Float64()*(NYCBBox.MaxLng-NYCBBox.MinLng),
+			Lat: NYCBBox.MinLat + rng.Float64()*(NYCBBox.MaxLat-NYCBBox.MinLat),
+		}
+		b := Point{
+			Lng: NYCBBox.MinLng + rng.Float64()*(NYCBBox.MaxLng-NYCBBox.MinLng),
+			Lat: NYCBBox.MinLat + rng.Float64()*(NYCBBox.MaxLat-NYCBBox.MinLat),
+		}
+		h := Haversine(a, b)
+		e := Equirect(a, b)
+		if h > 100 && math.Abs(h-e)/h > 0.005 {
+			t.Fatalf("Equirect diverges: haversine=%.1f equirect=%.1f", h, e)
+		}
+	}
+}
+
+func TestManhattanDominatesEquirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a := Point{Lng: -74 + rng.Float64()*0.3, Lat: 40.6 + rng.Float64()*0.3}
+		b := Point{Lng: -74 + rng.Float64()*0.3, Lat: 40.6 + rng.Float64()*0.3}
+		if Manhattan(a, b) < Equirect(a, b)-1e-6 {
+			t.Fatalf("L1 < L2 for %v %v", a, b)
+		}
+	}
+}
+
+func TestBBoxContainsClamp(t *testing.T) {
+	b := BBox{MinLng: 0, MinLat: 0, MaxLng: 10, MaxLat: 5}
+	if !b.Contains(Point{Lng: 5, Lat: 2}) {
+		t.Error("interior point not contained")
+	}
+	if !b.Contains(Point{Lng: 10, Lat: 5}) {
+		t.Error("max corner should be contained")
+	}
+	if b.Contains(Point{Lng: 11, Lat: 2}) {
+		t.Error("exterior point contained")
+	}
+	c := b.Clamp(Point{Lng: -3, Lat: 99})
+	if c.Lng != 0 || c.Lat != 5 {
+		t.Errorf("Clamp = %v, want (0, 5)", c)
+	}
+}
+
+func TestBBoxDimensionsNYC(t *testing.T) {
+	// The NYC box is ~22 km wide and ~38 km tall.
+	w := NYCBBox.WidthMeters()
+	h := NYCBBox.HeightMeters()
+	if w < 20000 || w > 24000 {
+		t.Errorf("width = %.0f m, want ~22 km", w)
+	}
+	if h < 36000 || h > 40000 {
+		t.Errorf("height = %.0f m, want ~38 km", h)
+	}
+}
+
+func TestBBoxCenter(t *testing.T) {
+	b := BBox{MinLng: 0, MinLat: 0, MaxLng: 10, MaxLat: 4}
+	c := b.Center()
+	if c.Lng != 5 || c.Lat != 2 {
+		t.Errorf("Center = %v, want (5, 2)", c)
+	}
+}

@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Zones is an irregular partition of a bounding box into Voronoi cells
+// around seed points — the shape of NYC's 262 TLC taxi zones, which
+// Appendix A's DeepST-GC variant handles via graph convolution over the
+// zone adjacency. Zones mirrors the Grid API where it can (Region,
+// Center, Neighbors) so prediction code written against adjacency lists
+// works over either partition.
+type Zones struct {
+	box   BBox
+	seeds []Point
+	// index buckets seeds on a coarse grid for nearest-seed queries.
+	index *Index
+	// adjacency[z] lists zones sharing a boundary with z, discovered by
+	// sampling (see NewZones).
+	adjacency [][]RegionID
+}
+
+// NewZones builds a Voronoi partition of box around the given seeds and
+// derives the zone adjacency by scanning a sampleDim x sampleDim lattice
+// for neighbouring points in different zones. sampleDim <= 0 defaults to
+// 128, which resolves boundaries down to ~box/128. It panics on fewer
+// than 2 seeds (a partition needs at least two cells).
+func NewZones(box BBox, seeds []Point, sampleDim int) *Zones {
+	if len(seeds) < 2 {
+		panic(fmt.Sprintf("geo: Voronoi partition needs >= 2 seeds, got %d", len(seeds)))
+	}
+	if sampleDim <= 0 {
+		sampleDim = 128
+	}
+	z := &Zones{
+		box:   box,
+		seeds: append([]Point(nil), seeds...),
+	}
+	// Bucket seeds for nearest queries. The Index operates on a grid
+	// sized to the seed count.
+	dim := 4
+	for dim*dim < len(seeds) && dim < 64 {
+		dim *= 2
+	}
+	z.index = NewIndex(NewGrid(box, dim, dim))
+	for i, s := range z.seeds {
+		z.index.Insert(int32(i), s)
+	}
+
+	// Adjacency by lattice sampling: horizontally or vertically adjacent
+	// sample points in different zones witness a shared boundary.
+	adjSet := make([]map[RegionID]bool, len(seeds))
+	for i := range adjSet {
+		adjSet[i] = make(map[RegionID]bool)
+	}
+	zoneAt := make([]RegionID, sampleDim*sampleDim)
+	dLng := (box.MaxLng - box.MinLng) / float64(sampleDim-1)
+	dLat := (box.MaxLat - box.MinLat) / float64(sampleDim-1)
+	for r := 0; r < sampleDim; r++ {
+		for c := 0; c < sampleDim; c++ {
+			p := Point{Lng: box.MinLng + float64(c)*dLng, Lat: box.MinLat + float64(r)*dLat}
+			zoneAt[r*sampleDim+c] = z.Region(p)
+		}
+	}
+	mark := func(a, b RegionID) {
+		if a != b && a >= 0 && b >= 0 {
+			adjSet[a][b] = true
+			adjSet[b][a] = true
+		}
+	}
+	for r := 0; r < sampleDim; r++ {
+		for c := 0; c < sampleDim; c++ {
+			cur := zoneAt[r*sampleDim+c]
+			if c+1 < sampleDim {
+				mark(cur, zoneAt[r*sampleDim+c+1])
+			}
+			if r+1 < sampleDim {
+				mark(cur, zoneAt[(r+1)*sampleDim+c])
+			}
+		}
+	}
+	z.adjacency = make([][]RegionID, len(seeds))
+	for i, set := range adjSet {
+		for nb := range set {
+			z.adjacency[i] = append(z.adjacency[i], nb)
+		}
+		sort.Slice(z.adjacency[i], func(a, b int) bool {
+			return z.adjacency[i][a] < z.adjacency[i][b]
+		})
+	}
+	return z
+}
+
+// NewRandomZones scatters numZones uniform seeds in the box — a stand-in
+// for a real zone shapefile.
+func NewRandomZones(box BBox, numZones int, seed int64) *Zones {
+	rng := rand.New(rand.NewSource(seed))
+	seeds := make([]Point, numZones)
+	for i := range seeds {
+		seeds[i] = Point{
+			Lng: box.MinLng + rng.Float64()*(box.MaxLng-box.MinLng),
+			Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+		}
+	}
+	return NewZones(box, seeds, 0)
+}
+
+// NumRegions returns the zone count.
+func (z *Zones) NumRegions() int { return len(z.seeds) }
+
+// Bounds returns the partition's bounding box.
+func (z *Zones) Bounds() BBox { return z.box }
+
+// Region maps a point to its nearest-seed zone, or InvalidRegion outside
+// the box.
+func (z *Zones) Region(p Point) RegionID {
+	if !z.box.Contains(p) {
+		return InvalidRegion
+	}
+	// Expand the search radius until the confirmed-nearest guarantee of
+	// the underlying index holds.
+	radius := z.box.WidthMeters() / 16
+	for {
+		ns := z.index.Nearest(p, 1, radius)
+		if len(ns) > 0 && ns[0].Distance <= radius {
+			return RegionID(ns[0].ID)
+		}
+		radius *= 2
+		if radius > 4*(z.box.WidthMeters()+z.box.HeightMeters()) {
+			// Defensive: cannot happen with >= 2 in-box seeds.
+			return InvalidRegion
+		}
+	}
+}
+
+// Center returns a zone's seed point (its representative location).
+func (z *Zones) Center(id RegionID) Point { return z.seeds[id] }
+
+// Neighbors returns the zones sharing a boundary with id, in ascending
+// order.
+func (z *Zones) Neighbors(id RegionID) []RegionID {
+	if id < 0 || int(id) >= len(z.adjacency) {
+		return nil
+	}
+	return z.adjacency[id]
+}
+
+// Adjacency returns the full adjacency as int32 lists, the input shape
+// predict.NewSTNetGC consumes.
+func (z *Zones) Adjacency() [][]int32 {
+	out := make([][]int32, len(z.adjacency))
+	for i, ns := range z.adjacency {
+		for _, nb := range ns {
+			out[i] = append(out[i], int32(nb))
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testZones() *Zones { return NewRandomZones(NYCBBox, 40, 7) }
+
+func TestZonesSeedsMapToOwnZone(t *testing.T) {
+	z := testZones()
+	for i := 0; i < z.NumRegions(); i++ {
+		if got := z.Region(z.Center(RegionID(i))); got != RegionID(i) {
+			t.Errorf("seed %d maps to zone %d", i, got)
+		}
+	}
+}
+
+func TestZonesRegionIsNearestSeed(t *testing.T) {
+	z := testZones()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		p := Point{
+			Lng: NYCBBox.MinLng + rng.Float64()*(NYCBBox.MaxLng-NYCBBox.MinLng),
+			Lat: NYCBBox.MinLat + rng.Float64()*(NYCBBox.MaxLat-NYCBBox.MinLat),
+		}
+		got := z.Region(p)
+		best := RegionID(-1)
+		bestD := math.Inf(1)
+		for i := 0; i < z.NumRegions(); i++ {
+			if d := Equirect(p, z.Center(RegionID(i))); d < bestD {
+				bestD = d
+				best = RegionID(i)
+			}
+		}
+		if got != best {
+			t.Fatalf("Region(%v) = %d, nearest seed is %d", p, got, best)
+		}
+	}
+}
+
+func TestZonesOutsideBox(t *testing.T) {
+	z := testZones()
+	if got := z.Region(Point{Lng: 0, Lat: 0}); got != InvalidRegion {
+		t.Errorf("outside point mapped to zone %d", got)
+	}
+}
+
+func TestZonesAdjacencySymmetricAndIrreflexive(t *testing.T) {
+	z := testZones()
+	for i := 0; i < z.NumRegions(); i++ {
+		for _, nb := range z.Neighbors(RegionID(i)) {
+			if nb == RegionID(i) {
+				t.Fatalf("zone %d adjacent to itself", i)
+			}
+			found := false
+			for _, back := range z.Neighbors(nb) {
+				if back == RegionID(i) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d -> %d", i, nb)
+			}
+		}
+	}
+}
+
+func TestZonesEveryZoneHasNeighbors(t *testing.T) {
+	z := testZones()
+	for i := 0; i < z.NumRegions(); i++ {
+		if len(z.Neighbors(RegionID(i))) == 0 {
+			t.Errorf("zone %d has no neighbours", i)
+		}
+	}
+	if z.Neighbors(InvalidRegion) != nil {
+		t.Error("invalid zone has neighbours")
+	}
+}
+
+func TestZonesAdjacencyExportShape(t *testing.T) {
+	z := testZones()
+	adj := z.Adjacency()
+	if len(adj) != z.NumRegions() {
+		t.Fatalf("adjacency length %d", len(adj))
+	}
+	for i, ns := range adj {
+		if len(ns) != len(z.Neighbors(RegionID(i))) {
+			t.Fatalf("zone %d adjacency export mismatch", i)
+		}
+	}
+}
+
+func TestZonesPanicsOnTooFewSeeds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("single-seed partition accepted")
+		}
+	}()
+	NewZones(NYCBBox, []Point{NYCBBox.Center()}, 0)
+}
+
+func TestZonesKnownGeometry(t *testing.T) {
+	// Two seeds west/east: the boundary is the vertical midline.
+	box := BBox{MinLng: 0, MinLat: 0, MaxLng: 2, MaxLat: 1}
+	z := NewZones(box, []Point{{Lng: 0.5, Lat: 0.5}, {Lng: 1.5, Lat: 0.5}}, 64)
+	if z.Region(Point{Lng: 0.2, Lat: 0.5}) != 0 {
+		t.Error("west point not in west zone")
+	}
+	if z.Region(Point{Lng: 1.8, Lat: 0.5}) != 1 {
+		t.Error("east point not in east zone")
+	}
+	if ns := z.Neighbors(0); len(ns) != 1 || ns[0] != 1 {
+		t.Errorf("west zone neighbours = %v, want [1]", ns)
+	}
+}

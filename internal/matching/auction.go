@@ -1,0 +1,100 @@
+package matching
+
+import "math"
+
+// Auction solves maximum-weight bipartite assignment with Bertsekas'
+// auction algorithm: unmatched rows bid for their most valuable column,
+// raising its price by the bid increment plus epsilon. With
+// epsilon < 1/n on integer weights the result is optimal; on float
+// weights it is optimal to within n*epsilon, which is ample for dispatch
+// scoring. It exists as a faster practical alternative to Hungarian for
+// large sparse batches and as an independent implementation to
+// cross-check it in tests.
+//
+// Semantics match MaxWeight: -Inf edges are forbidden, rows with only
+// negative or forbidden edges stay unmatched, and assign[row] = col or
+// -1.
+func Auction(w [][]float64, epsilon float64) (assign []int, total float64) {
+	rows := len(w)
+	assign = make([]int, rows)
+	for i := range assign {
+		assign[i] = -1
+	}
+	if rows == 0 {
+		return assign, 0
+	}
+	cols := 0
+	for _, r := range w {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return assign, 0
+	}
+	if epsilon <= 0 {
+		epsilon = 1e-6
+	}
+
+	price := make([]float64, cols)
+	owner := make([]int, cols)
+	for j := range owner {
+		owner[j] = -1
+	}
+	// Queue of unassigned rows that still have a potentially positive bid.
+	queue := make([]int, rows)
+	for i := range queue {
+		queue[i] = i
+	}
+	// Each row can be displaced at most once per price increase; prices
+	// only rise, so the total number of bids is bounded. Guard anyway.
+	maxBids := rows * cols * 64
+	for len(queue) > 0 && maxBids > 0 {
+		maxBids--
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		// Find the best and second-best net value for row i.
+		best, second := math.Inf(-1), math.Inf(-1)
+		bestJ := -1
+		for j := 0; j < len(w[i]); j++ {
+			if math.IsInf(w[i][j], -1) {
+				continue
+			}
+			v := w[i][j] - price[j]
+			if v > best {
+				second = best
+				best = v
+				bestJ = j
+			} else if v > second {
+				second = v
+			}
+		}
+		if bestJ == -1 || best < 0 {
+			// Nothing worth bidding on: stay unmatched (the zero-value
+			// outside option).
+			continue
+		}
+		if math.IsInf(second, -1) || second < 0 {
+			second = 0 // outside option bounds the second-best value
+		}
+		price[bestJ] += best - second + epsilon
+		if prev := owner[bestJ]; prev != -1 {
+			assign[prev] = -1
+			queue = append(queue, prev)
+		}
+		owner[bestJ] = i
+		assign[i] = bestJ
+	}
+
+	for i, j := range assign {
+		if j != -1 {
+			if w[i][j] < 0 {
+				assign[i] = -1 // epsilon noise must not force a harmful match
+				continue
+			}
+			total += w[i][j]
+		}
+	}
+	return assign, total
+}

@@ -1,0 +1,109 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAuctionSimple(t *testing.T) {
+	w := [][]float64{
+		{9, 8},
+		{7, 1},
+	}
+	assign, total := Auction(w, 1e-6)
+	if math.Abs(total-15) > 1e-3 {
+		t.Errorf("total = %v, want 15 (assign %v)", total, assign)
+	}
+}
+
+func TestAuctionMatchesHungarianWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				switch rng.Intn(6) {
+				case 0:
+					w[i][j] = math.Inf(-1)
+				case 1:
+					w[i][j] = -rng.Float64() * 5
+				default:
+					w[i][j] = rng.Float64() * 100
+				}
+			}
+		}
+		eps := 1e-7
+		_, aTotal := Auction(w, eps)
+		_, hTotal := MaxWeight(w)
+		n := float64(rows)
+		if cols > rows {
+			n = float64(cols)
+		}
+		if aTotal > hTotal+1e-6 {
+			t.Fatalf("trial %d: auction %v exceeds optimal %v", trial, aTotal, hTotal)
+		}
+		if aTotal < hTotal-n*eps-1e-3 {
+			t.Fatalf("trial %d: auction %v too far below optimal %v", trial, aTotal, hTotal)
+		}
+	}
+}
+
+func TestAuctionAssignmentValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := make([][]float64, 30)
+	for i := range w {
+		w[i] = make([]float64, 20)
+		for j := range w[i] {
+			w[i][j] = rng.Float64() * 50
+		}
+	}
+	assign, total := Auction(w, 1e-6)
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, j := range assign {
+		if j == -1 {
+			continue
+		}
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+		sum += w[i][j]
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("reported total %v != recomputed %v", total, sum)
+	}
+}
+
+func TestAuctionForbiddenAndNegative(t *testing.T) {
+	ninf := math.Inf(-1)
+	w := [][]float64{
+		{ninf, ninf},
+		{-3, -1},
+		{5, 2},
+	}
+	assign, total := Auction(w, 1e-6)
+	if assign[0] != -1 {
+		t.Errorf("fully forbidden row matched to %d", assign[0])
+	}
+	if assign[1] != -1 {
+		t.Errorf("all-negative row matched to %d", assign[1])
+	}
+	if assign[2] != 0 || math.Abs(total-5) > 1e-6 {
+		t.Errorf("assign=%v total=%v, want row2->0 total 5", assign, total)
+	}
+}
+
+func TestAuctionEmpty(t *testing.T) {
+	if a, tot := Auction(nil, 1e-6); a != nil && len(a) != 0 || tot != 0 {
+		t.Errorf("empty: %v %v", a, tot)
+	}
+	a, tot := Auction([][]float64{{}, {}}, 0) // zero epsilon defaults
+	if tot != 0 || a[0] != -1 {
+		t.Errorf("zero-column: %v %v", a, tot)
+	}
+}

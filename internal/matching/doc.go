@@ -1,0 +1,5 @@
+// Package matching provides bipartite assignment algorithms: an O(n^3)
+// Hungarian (Kuhn-Munkres) solver for maximum-weight matching, used by
+// the POLAR baseline's offline region-level blueprint, and a greedy
+// matcher for comparison and testing.
+package matching

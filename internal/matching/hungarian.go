@@ -1,0 +1,172 @@
+package matching
+
+import "math"
+
+// MaxWeight solves the maximum-weight bipartite assignment problem for a
+// weight matrix w[row][col]. Forbidden edges are encoded as -Inf. It
+// returns assign[row] = col (or -1 when the row stays unmatched) and the
+// total weight of the selected assignment.
+//
+// Internally it runs the O(n^3) potential-based Hungarian algorithm on
+// the negated weights, padded to a square matrix in which every real row
+// also owns a zero-weight "stay unmatched" slack column — so rows whose
+// only finite edges have negative weight are left unmatched rather than
+// forced into a harmful assignment.
+func MaxWeight(w [][]float64) (assign []int, total float64) {
+	rows := len(w)
+	if rows == 0 {
+		return nil, 0
+	}
+	cols := 0
+	for _, r := range w {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	assign = make([]int, rows)
+	for i := range assign {
+		assign[i] = -1
+	}
+	if cols == 0 {
+		return assign, 0
+	}
+
+	// Square problem of size n: rows 0..rows-1 are real, the rest pad;
+	// columns 0..cols-1 are real, column cols+i is row i's slack.
+	n := rows + cols
+	// A finite "forbidden" cost keeps the potential updates well-defined;
+	// it must dominate any achievable |weight| sum. Scale from the data.
+	maxAbs := 1.0
+	for _, row := range w {
+		for _, x := range row {
+			if !math.IsInf(x, 0) && math.Abs(x) > maxAbs {
+				maxAbs = math.Abs(x)
+			}
+		}
+	}
+	forbidden := maxAbs*float64(n+1) + 1
+	cost := func(i, j int) float64 {
+		if i >= rows {
+			return 0 // padding rows match anything at no cost
+		}
+		if j < cols {
+			if j >= len(w[i]) || math.IsInf(w[i][j], -1) {
+				return forbidden
+			}
+			return -w[i][j]
+		}
+		if j == cols+i {
+			return 0 // row i's personal unmatched slot
+		}
+		return forbidden
+	}
+
+	// e-maxx formulation with 1-based arrays: u/v potentials, p[j] = row
+	// matched to column j, way[j] = previous column on the alternating
+	// path.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minV := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 1; j <= n; j++ {
+			minV[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minV[j] {
+					minV[j] = cur
+					way[j] = j0
+				}
+				if minV[j] < delta {
+					delta = minV[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minV[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	for j := 1; j <= n; j++ {
+		i := p[j] - 1
+		col := j - 1
+		if i < 0 || i >= rows || col >= cols {
+			continue
+		}
+		if math.IsInf(w[i][col], -1) || col >= len(w[i]) {
+			continue // landed on a forbidden edge; treat as unmatched
+		}
+		// The slack column guarantees a zero-weight alternative, so a
+		// negative-weight real assignment is never *optimal*, but numeric
+		// ties can surface one; filter it.
+		if w[i][col] < 0 {
+			continue
+		}
+		assign[i] = col
+		total += w[i][col]
+	}
+	return assign, total
+}
+
+// Greedy matches rows to columns by repeatedly taking the largest
+// remaining positive weight (ties broken by lowest row then column).
+// Returns assign[row] = col or -1. It is a 1/2-approximation for maximum
+// weight matching and serves as a fast comparator in tests and benches.
+func Greedy(w [][]float64) (assign []int, total float64) {
+	rows := len(w)
+	assign = make([]int, rows)
+	for i := range assign {
+		assign[i] = -1
+	}
+	usedCol := map[int]bool{}
+	for {
+		bestR, bestC, bestW := -1, -1, 0.0
+		for r := 0; r < rows; r++ {
+			if assign[r] != -1 {
+				continue
+			}
+			for c, weight := range w[r] {
+				if usedCol[c] || math.IsInf(weight, -1) || weight <= 0 {
+					continue
+				}
+				if weight > bestW {
+					bestR, bestC, bestW = r, c, weight
+				}
+			}
+		}
+		if bestR == -1 {
+			return assign, total
+		}
+		assign[bestR] = bestC
+		usedCol[bestC] = true
+		total += bestW
+	}
+}

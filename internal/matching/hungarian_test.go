@@ -1,0 +1,233 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxWeightSimple(t *testing.T) {
+	w := [][]float64{
+		{3, 1},
+		{2, 4},
+	}
+	assign, total := MaxWeight(w)
+	if assign[0] != 0 || assign[1] != 1 {
+		t.Errorf("assign = %v, want [0 1]", assign)
+	}
+	if total != 7 {
+		t.Errorf("total = %v, want 7", total)
+	}
+}
+
+func TestMaxWeightPrefersCrossAssignment(t *testing.T) {
+	// Greedy would take w[0][0]=9 then w[1][1]=1 (total 10); optimal is
+	// 8 + 7 = 15.
+	w := [][]float64{
+		{9, 8},
+		{7, 1},
+	}
+	assign, total := MaxWeight(w)
+	if total != 15 {
+		t.Errorf("total = %v, want 15 (assign %v)", total, assign)
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Errorf("assign = %v, want [1 0]", assign)
+	}
+}
+
+func TestMaxWeightRectangular(t *testing.T) {
+	// More rows than columns: one row must stay unmatched.
+	w := [][]float64{
+		{5},
+		{9},
+		{2},
+	}
+	assign, total := MaxWeight(w)
+	if total != 9 {
+		t.Errorf("total = %v, want 9", total)
+	}
+	matched := 0
+	for i, a := range assign {
+		if a == 0 {
+			matched++
+			if i != 1 {
+				t.Errorf("row %d matched, want row 1", i)
+			}
+		}
+	}
+	if matched != 1 {
+		t.Errorf("%d rows matched, want 1", matched)
+	}
+	// More columns than rows.
+	w2 := [][]float64{{1, 10, 2}}
+	assign2, total2 := MaxWeight(w2)
+	if assign2[0] != 1 || total2 != 10 {
+		t.Errorf("assign=%v total=%v, want [1] 10", assign2, total2)
+	}
+}
+
+func TestMaxWeightForbiddenEdges(t *testing.T) {
+	ninf := math.Inf(-1)
+	w := [][]float64{
+		{ninf, 5},
+		{3, ninf},
+	}
+	assign, total := MaxWeight(w)
+	if assign[0] != 1 || assign[1] != 0 || total != 8 {
+		t.Errorf("assign=%v total=%v, want [1 0] 8", assign, total)
+	}
+	// A row with only forbidden edges stays unmatched.
+	w2 := [][]float64{
+		{ninf, ninf},
+		{1, 2},
+	}
+	assign2, total2 := MaxWeight(w2)
+	if assign2[0] != -1 {
+		t.Errorf("fully forbidden row matched to %d", assign2[0])
+	}
+	if total2 != 2 {
+		t.Errorf("total = %v, want 2", total2)
+	}
+}
+
+func TestMaxWeightNegativeWeightsLeftUnmatched(t *testing.T) {
+	w := [][]float64{
+		{-5, -2},
+		{3, -1},
+	}
+	assign, total := MaxWeight(w)
+	if assign[0] != -1 {
+		t.Errorf("row 0 with all-negative weights matched to %d", assign[0])
+	}
+	if assign[1] != 0 || total != 3 {
+		t.Errorf("assign=%v total=%v, want row1->0 total 3", assign, total)
+	}
+}
+
+func TestMaxWeightEmpty(t *testing.T) {
+	if a, tot := MaxWeight(nil); a != nil || tot != 0 {
+		t.Errorf("empty input: %v %v", a, tot)
+	}
+	a, tot := MaxWeight([][]float64{{}, {}})
+	if tot != 0 || a[0] != -1 || a[1] != -1 {
+		t.Errorf("zero-column input: %v %v", a, tot)
+	}
+}
+
+// bruteForceMax enumerates all assignments of rows to distinct columns.
+func bruteForceMax(w [][]float64) float64 {
+	cols := 0
+	for _, r := range w {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	used := make([]bool, cols)
+	var rec func(row int) float64
+	rec = func(row int) float64 {
+		if row == len(w) {
+			return 0
+		}
+		best := rec(row + 1) // leave row unmatched
+		for c := 0; c < len(w[row]); c++ {
+			if used[c] || math.IsInf(w[row][c], -1) || w[row][c] < 0 {
+				continue
+			}
+			used[c] = true
+			if v := w[row][c] + rec(row+1); v > best {
+				best = v
+			}
+			used[c] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaxWeightMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				switch rng.Intn(5) {
+				case 0:
+					w[i][j] = math.Inf(-1)
+				case 1:
+					w[i][j] = -rng.Float64() * 10
+				default:
+					w[i][j] = rng.Float64() * 10
+				}
+			}
+		}
+		_, got := MaxWeight(w)
+		want := bruteForceMax(w)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v != brute force %v for %v", trial, got, want, w)
+		}
+	}
+}
+
+func TestMaxWeightAssignmentIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := make([][]float64, 20)
+	for i := range w {
+		w[i] = make([]float64, 15)
+		for j := range w[i] {
+			w[i][j] = rng.Float64() * 100
+		}
+	}
+	assign, total := MaxWeight(w)
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, a := range assign {
+		if a == -1 {
+			continue
+		}
+		if seen[a] {
+			t.Fatalf("column %d assigned twice", a)
+		}
+		seen[a] = true
+		sum += w[i][a]
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("reported total %v != recomputed %v", total, sum)
+	}
+}
+
+func TestGreedyIsValidAndWithinHalfOfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		rows := 2 + rng.Intn(8)
+		cols := 2 + rng.Intn(8)
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				w[i][j] = rng.Float64() * 10
+			}
+		}
+		gAssign, gTotal := Greedy(w)
+		_, hTotal := MaxWeight(w)
+		if gTotal > hTotal+1e-9 {
+			t.Fatalf("greedy %v beat optimal %v", gTotal, hTotal)
+		}
+		if gTotal < hTotal/2-1e-9 {
+			t.Fatalf("greedy %v below half of optimal %v", gTotal, hTotal)
+		}
+		seen := map[int]bool{}
+		for _, a := range gAssign {
+			if a == -1 {
+				continue
+			}
+			if seen[a] {
+				t.Fatal("greedy assigned a column twice")
+			}
+			seen[a] = true
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package predict implements the offline demand-supply prediction stage
+// of the framework (Section 3.1.1 and Appendix A): given a history of
+// per-region, per-slot order counts, predict the count of the next slot.
+//
+// Four models are provided, mirroring the paper's comparison:
+//
+//   - HA: historical average of the previous 15 slots.
+//   - LR: ridge-regularized linear regression on the previous 15 slots.
+//   - GBRT: stochastic gradient-boosted regression trees (Friedman 2002)
+//     on the previous 15 slots plus calendar features, from scratch.
+//   - STNet: the DeepST substitute — a linear spatio-temporal model using
+//     DeepST's exact feature design (closeness/period/trend lag stacks,
+//     day-of-week, time-of-day and weather metadata) with per-region
+//     bias correction. No CNN, but it consumes the same extra signal
+//     DeepST adds over LR/GBRT, which preserves the paper's accuracy
+//     ordering HA < LR < GBRT < DeepST on workloads with calendar
+//     structure.
+//
+// All models implement Predictor and read lag features from a shared
+// History, so online use during simulation (where the current day's
+// realized counts fill in as slots complete) needs no special casing.
+package predict

@@ -1,0 +1,305 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// GBRT is stochastic gradient-boosted regression trees (Friedman 2002)
+// built from scratch: squared-error boosting over depth-limited CART
+// trees with quantile-candidate splits and per-tree row subsampling.
+// Features are the previous NumCloseness slot counts plus day-of-week,
+// slot-of-day and weather.
+type GBRT struct {
+	// Trees is the boosting round count. Default 60.
+	Trees int
+	// Depth limits each tree. Default 3.
+	Depth int
+	// LearningRate shrinks each tree's contribution. Default 0.1.
+	LearningRate float64
+	// Subsample is the per-tree row sampling fraction. Default 0.5.
+	Subsample float64
+	// MaxRows caps the materialized training set; larger training data
+	// is uniformly subsampled. Default 60000.
+	MaxRows int
+	// MinLeaf is the minimum samples per leaf. Default 20.
+	MinLeaf int
+	// Seed drives subsampling.
+	Seed int64
+
+	base  float64
+	trees []gbrtTree
+}
+
+const gbrtNumFeatures = NumCloseness + 3 // lags + dow + slot + weather
+
+func (m *GBRT) withDefaults() {
+	if m.Trees <= 0 {
+		m.Trees = 60
+	}
+	if m.Depth <= 0 {
+		m.Depth = 3
+	}
+	if m.LearningRate <= 0 {
+		m.LearningRate = 0.1
+	}
+	if m.Subsample <= 0 || m.Subsample > 1 {
+		m.Subsample = 0.5
+	}
+	if m.MaxRows <= 0 {
+		m.MaxRows = 60000
+	}
+	if m.MinLeaf <= 0 {
+		m.MinLeaf = 20
+	}
+}
+
+// Name implements Predictor.
+func (m *GBRT) Name() string { return "GBRT" }
+
+func gbrtFeatures(dst []float64, h *History, day, slot, region int) []float64 {
+	dst = dst[:0]
+	for i := 1; i <= NumCloseness; i++ {
+		dst = append(dst, h.At(day, slot-i, region))
+	}
+	var dow, weather float64
+	if day >= 0 && day < len(h.Meta) {
+		dow = float64(h.Meta[day].DOW)
+		weather = float64(h.Meta[day].Weather)
+	}
+	dst = append(dst, dow, float64(slot), weather)
+	return dst
+}
+
+// Train implements Predictor.
+func (m *GBRT) Train(h *History, trainDays int) error {
+	m.withDefaults()
+	rng := newSeededRand(m.Seed)
+
+	// Materialize (and possibly subsample) the training table.
+	total := 0
+	for day := MinLookbackDays; day < trainDays && day < h.Days(); day++ {
+		total += h.SlotsPerDay * h.NumRegions
+	}
+	if total == 0 {
+		return errors.New("predict: GBRT has no training rows; need more history days")
+	}
+	keep := 1.0
+	if total > m.MaxRows {
+		keep = float64(m.MaxRows) / float64(total)
+	}
+	var X [][]float64
+	var y []float64
+	for day := MinLookbackDays; day < trainDays && day < h.Days(); day++ {
+		for slot := 0; slot < h.SlotsPerDay; slot++ {
+			for region := 0; region < h.NumRegions; region++ {
+				if keep < 1 && rng.Float64() > keep {
+					continue
+				}
+				X = append(X, gbrtFeatures(nil, h, day, slot, region))
+				y = append(y, h.At(day, slot, region))
+			}
+		}
+	}
+	if len(X) < 2*m.MinLeaf {
+		return errors.New("predict: GBRT training set too small")
+	}
+
+	// Base score: mean target.
+	sum := 0.0
+	for _, v := range y {
+		sum += v
+	}
+	m.base = sum / float64(len(y))
+
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = m.base
+	}
+	resid := make([]float64, len(y))
+	m.trees = m.trees[:0]
+	for round := 0; round < m.Trees; round++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		// Stochastic row subsample.
+		rows := make([]int, 0, int(float64(len(X))*m.Subsample)+1)
+		for i := range X {
+			if rng.Float64() < m.Subsample {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows) < 2*m.MinLeaf {
+			continue
+		}
+		t := buildTree(X, resid, rows, m.Depth, m.MinLeaf)
+		m.trees = append(m.trees, t)
+		for i := range X {
+			pred[i] += m.LearningRate * t.eval(X[i])
+		}
+	}
+	return nil
+}
+
+// Predict implements Predictor. An untrained model predicts 0.
+func (m *GBRT) Predict(h *History, day, slot, region int) float64 {
+	if len(m.trees) == 0 && m.base == 0 {
+		return 0
+	}
+	f := gbrtFeatures(make([]float64, 0, gbrtNumFeatures), h, day, slot, region)
+	v := m.base
+	for _, t := range m.trees {
+		v += m.LearningRate * t.eval(f)
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// gbrtNode is one node of a regression tree; leaves carry value.
+type gbrtNode struct {
+	feature   int
+	threshold float64
+	left      int32
+	right     int32
+	value     float64
+	leaf      bool
+}
+
+type gbrtTree struct{ nodes []gbrtNode }
+
+func (t gbrtTree) eval(f []float64) float64 {
+	i := int32(0)
+	for {
+		n := t.nodes[i]
+		if n.leaf {
+			return n.value
+		}
+		if f[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// buildTree grows a depth-limited CART regression tree on the residuals
+// of the given rows.
+func buildTree(X [][]float64, y []float64, rows []int, depth, minLeaf int) gbrtTree {
+	var t gbrtTree
+	t.grow(X, y, rows, depth, minLeaf)
+	return t
+}
+
+func (t *gbrtTree) grow(X [][]float64, y []float64, rows []int, depth, minLeaf int) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, gbrtNode{})
+
+	mean := 0.0
+	for _, r := range rows {
+		mean += y[r]
+	}
+	mean /= float64(len(rows))
+
+	if depth == 0 || len(rows) < 2*minLeaf {
+		t.nodes[id] = gbrtNode{leaf: true, value: mean}
+		return id
+	}
+	feat, thr, ok := bestSplit(X, y, rows, minLeaf)
+	if !ok {
+		t.nodes[id] = gbrtNode{leaf: true, value: mean}
+		return id
+	}
+	var left, right []int
+	for _, r := range rows {
+		if X[r][feat] <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	l := t.grow(X, y, left, depth-1, minLeaf)
+	r := t.grow(X, y, right, depth-1, minLeaf)
+	t.nodes[id] = gbrtNode{feature: feat, threshold: thr, left: l, right: r}
+	return id
+}
+
+// bestSplit scans quantile-candidate thresholds on every feature and
+// returns the split minimizing the summed squared error of the two
+// children (equivalently, maximizing variance reduction). For each
+// feature it makes a single pass over the node's rows, accumulating sums
+// into candidate buckets, then evaluates every threshold from the bucket
+// prefix sums — O(rows * (log candidates)) per feature instead of
+// O(rows * candidates).
+func bestSplit(X [][]float64, y []float64, rows []int, minLeaf int) (feature int, threshold float64, ok bool) {
+	const numCandidates = 24
+	nf := len(X[rows[0]])
+	bestGain := 0.0
+
+	totSum, totCnt := 0.0, float64(len(rows))
+	for _, r := range rows {
+		totSum += y[r]
+	}
+
+	vals := make([]float64, 0, len(rows))
+	thresholds := make([]float64, 0, numCandidates)
+	bucketSum := make([]float64, numCandidates+1)
+	bucketCnt := make([]float64, numCandidates+1)
+	for f := 0; f < nf; f++ {
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, X[r][f])
+		}
+		sort.Float64s(vals)
+		if vals[0] == vals[len(vals)-1] {
+			continue // constant feature in this node
+		}
+		// Deduplicated quantile thresholds; exclude the max value so the
+		// right child is never empty.
+		thresholds = thresholds[:0]
+		prev := math.Inf(-1)
+		for c := 1; c <= numCandidates; c++ {
+			thr := vals[c*(len(vals)-1)/(numCandidates+1)]
+			if thr != prev && thr != vals[len(vals)-1] {
+				thresholds = append(thresholds, thr)
+				prev = thr
+			}
+		}
+		if len(thresholds) == 0 {
+			continue
+		}
+		// Bucket b holds rows with thresholds[b-1] < x <= thresholds[b];
+		// bucket len(thresholds) holds the tail above the last threshold.
+		for b := 0; b <= len(thresholds); b++ {
+			bucketSum[b] = 0
+			bucketCnt[b] = 0
+		}
+		for _, r := range rows {
+			x := X[r][f]
+			b := sort.SearchFloat64s(thresholds, x) // first threshold >= x
+			bucketSum[b] += y[r]
+			bucketCnt[b]++
+		}
+		lSum, lCnt := 0.0, 0.0
+		for b, thr := range thresholds {
+			lSum += bucketSum[b]
+			lCnt += bucketCnt[b]
+			rCnt := totCnt - lCnt
+			if lCnt < float64(minLeaf) || rCnt < float64(minLeaf) {
+				continue
+			}
+			rSum := totSum - lSum
+			// Variance-reduction gain (constant terms dropped).
+			gain := lSum*lSum/lCnt + rSum*rSum/rCnt - totSum*totSum/totCnt
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				feature = f
+				threshold = thr
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}

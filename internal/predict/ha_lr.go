@@ -1,0 +1,87 @@
+package predict
+
+import "errors"
+
+// HA is the historical-average baseline: the mean of the previous
+// NumCloseness slots (Appendix A). It needs no training.
+type HA struct{}
+
+// Name implements Predictor.
+func (HA) Name() string { return "HA" }
+
+// Train implements Predictor; HA is training-free.
+func (HA) Train(*History, int) error { return nil }
+
+// Predict implements Predictor.
+func (HA) Predict(h *History, day, slot, region int) float64 {
+	sum := 0.0
+	for i := 1; i <= NumCloseness; i++ {
+		sum += h.At(day, slot-i, region)
+	}
+	return sum / NumCloseness
+}
+
+// LR is ridge-regularized linear regression on the previous NumCloseness
+// slot counts plus an intercept, fitted globally across regions
+// (Appendix A's "Linear Regression model collects the order records in
+// the previous 15 time slots").
+type LR struct {
+	// Lambda is the ridge penalty; the default 1.0 is set by Train when
+	// zero.
+	Lambda float64
+	w      []float64
+}
+
+// Name implements Predictor.
+func (m *LR) Name() string { return "LR" }
+
+// lrFeatures writes the LR feature vector for one cell into dst.
+func lrFeatures(dst []float64, h *History, day, slot, region int) []float64 {
+	dst = dst[:0]
+	dst = append(dst, 1) // intercept
+	for i := 1; i <= NumCloseness; i++ {
+		dst = append(dst, h.At(day, slot-i, region))
+	}
+	return dst
+}
+
+// Train implements Predictor: one global ridge fit over every cell of
+// the training days that has full lookback.
+func (m *LR) Train(h *History, trainDays int) error {
+	if m.Lambda <= 0 {
+		m.Lambda = 1.0
+	}
+	var X [][]float64
+	var y []float64
+	for day := MinLookbackDays; day < trainDays && day < h.Days(); day++ {
+		for slot := 0; slot < h.SlotsPerDay; slot++ {
+			for region := 0; region < h.NumRegions; region++ {
+				row := lrFeatures(nil, h, day, slot, region)
+				X = append(X, row)
+				y = append(y, h.At(day, slot, region))
+			}
+		}
+	}
+	if len(X) == 0 {
+		return errors.New("predict: LR has no training rows; need more history days")
+	}
+	w, err := ridgeSolve(X, y, m.Lambda)
+	if err != nil {
+		return err
+	}
+	m.w = w
+	return nil
+}
+
+// Predict implements Predictor. An untrained model predicts 0.
+func (m *LR) Predict(h *History, day, slot, region int) float64 {
+	if m.w == nil {
+		return 0
+	}
+	f := lrFeatures(make([]float64, 0, NumCloseness+1), h, day, slot, region)
+	v := dot(m.w, f)
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// newSeededRand centralizes RNG construction for this package.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ridgeSolve fits w minimizing ||Xw - y||^2 + lambda*||w||^2 via the
+// normal equations (X'X + lambda I) w = X'y solved by Cholesky
+// factorization. Rows of X are observations. The intercept, if wanted,
+// must be an explicit all-ones column (and is regularized like any other
+// coordinate; lambda is small enough for that not to matter).
+func ridgeSolve(X [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(X) == 0 {
+		return nil, errors.New("predict: empty design matrix")
+	}
+	if len(X) != len(y) {
+		return nil, errors.New("predict: X/y row mismatch")
+	}
+	p := len(X[0])
+	// Gram matrix and right-hand side.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	for r, row := range X {
+		if len(row) != p {
+			return nil, errors.New("predict: ragged design matrix")
+		}
+		for i := 0; i < p; i++ {
+			xi := row[i]
+			if xi == 0 {
+				continue
+			}
+			b[i] += xi * y[r]
+			for j := i; j < p; j++ {
+				a[i][j] += xi * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		a[i][i] += lambda
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	L, err := cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return choleskySolve(L, b), nil
+}
+
+// cholesky returns the lower-triangular factor of a symmetric positive
+// definite matrix.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	L := make([][]float64, n)
+	for i := range L {
+		L[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errors.New("predict: matrix not positive definite")
+				}
+				L[i][i] = math.Sqrt(sum)
+			} else {
+				L[i][j] = sum / L[j][j]
+			}
+		}
+	}
+	return L, nil
+}
+
+// choleskySolve solves L L' x = b by forward then backward substitution.
+func choleskySolve(L [][]float64, b []float64) []float64 {
+	n := len(L)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= L[i][k] * y[k]
+		}
+		y[i] = sum / L[i][i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= L[k][i] * x[k]
+		}
+		x[i] = sum / L[i][i]
+	}
+	return x
+}
+
+// dot returns the inner product of equal-length vectors.
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

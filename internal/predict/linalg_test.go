@@ -1,0 +1,95 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRidgeSolveRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueW := []float64{2, -1, 0.5, 3}
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		row := []float64{1, rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		X = append(X, row)
+		y = append(y, dot(trueW, row)+0.01*rng.NormFloat64())
+	}
+	w, err := ridgeSolve(X, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trueW {
+		if math.Abs(w[i]-trueW[i]) > 0.05 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], trueW[i])
+		}
+	}
+}
+
+func TestRidgeSolveShrinksWithLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64()
+		X = append(X, []float64{x})
+		y = append(y, 5*x)
+	}
+	small, _ := ridgeSolve(X, y, 0.001)
+	large, _ := ridgeSolve(X, y, 10000)
+	if math.Abs(large[0]) >= math.Abs(small[0]) {
+		t.Errorf("ridge penalty did not shrink: %v vs %v", large[0], small[0])
+	}
+}
+
+func TestRidgeSolveErrors(t *testing.T) {
+	if _, err := ridgeSolve(nil, nil, 1); err == nil {
+		t.Error("empty X accepted")
+	}
+	if _, err := ridgeSolve([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if _, err := ridgeSolve([][]float64{{1, 2}, {1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("ragged X accepted")
+	}
+}
+
+func TestRidgeSolveSingularWithoutPenalty(t *testing.T) {
+	// Perfectly collinear columns: pure least squares is singular, but
+	// any positive ridge penalty regularizes it.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	if _, err := ridgeSolve(X, y, 0); err == nil {
+		t.Error("singular system accepted with zero penalty")
+	}
+	if _, err := ridgeSolve(X, y, 0.1); err != nil {
+		t.Errorf("ridge failed on collinear data: %v", err)
+	}
+}
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 3}}
+	L, err := cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 0}, {1, math.Sqrt(2)}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(L[i][j]-want[i][j]) > 1e-12 {
+				t.Errorf("L[%d][%d] = %v, want %v", i, j, L[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 3}}
+	L, _ := cholesky(a)
+	x := choleskySolve(L, []float64{10, 8})
+	// Verify A x = b.
+	if math.Abs(4*x[0]+2*x[1]-10) > 1e-9 || math.Abs(2*x[0]+3*x[1]-8) > 1e-9 {
+		t.Errorf("solution %v does not satisfy the system", x)
+	}
+}

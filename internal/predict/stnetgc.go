@@ -1,0 +1,143 @@
+package predict
+
+import (
+	"errors"
+
+	"mrvd/internal/geo"
+)
+
+// STNetGC is the DeepST-GC variant of Appendix A: when the space is not
+// a regular grid (e.g. NYC's 262 irregular taxi zones), DeepST's
+// convolution is replaced with a graph convolution over the region
+// adjacency graph. This substitute mirrors that design on STNet: every
+// lag stack is augmented with its one-hop graph-convolved counterpart
+// x' = Â x, where Â is the row-normalized adjacency-plus-self-loops
+// matrix the appendix defines, and the fused features go through the
+// same ridge fit and per-region bias correction as STNet.
+type STNetGC struct {
+	// Lambda is the ridge penalty. Default 1.0.
+	Lambda float64
+
+	adj        [][]int32 // neighbor lists including implicit self-loop
+	w          []float64
+	regionBias []float64
+}
+
+// NewSTNetGC builds the model over an explicit region adjacency: adj[r]
+// lists the regions adjacent to r (self excluded; the self-loop is
+// implicit).
+func NewSTNetGC(adj [][]int32) *STNetGC {
+	cp := make([][]int32, len(adj))
+	for i, ns := range adj {
+		cp[i] = append([]int32(nil), ns...)
+	}
+	return &STNetGC{adj: cp}
+}
+
+// NewSTNetGCFromGrid derives the adjacency from a grid's 4-neighborhood.
+func NewSTNetGCFromGrid(grid *geo.Grid) *STNetGC {
+	adj := make([][]int32, grid.NumRegions())
+	for r := 0; r < grid.NumRegions(); r++ {
+		for _, nb := range grid.Neighbors(geo.RegionID(r)) {
+			adj[r] = append(adj[r], int32(nb))
+		}
+	}
+	return NewSTNetGC(adj)
+}
+
+// Name implements Predictor.
+func (m *STNetGC) Name() string { return "STNet-GC(DeepST-GC)" }
+
+// gcAt returns the graph-convolved count at (day, slot) for a region:
+// the row-normalized mean of the region and its neighbors.
+func (m *STNetGC) gcAt(h *History, day, slot, region int) float64 {
+	sum := h.At(day, slot, region)
+	n := 1.0
+	if region < len(m.adj) {
+		for _, nb := range m.adj[region] {
+			sum += h.At(day, slot, int(nb))
+			n++
+		}
+	}
+	return sum / n
+}
+
+// stnetgcNumFeatures: the STNet features plus graph-convolved closeness,
+// period and trend stacks.
+const stnetgcNumFeatures = stnetNumFeatures + NumCloseness + NumPeriod + NumTrend
+
+func (m *STNetGC) features(dst []float64, h *History, day, slot, region int) []float64 {
+	dst = stnetFeatures(dst, h, day, slot, region)
+	for i := 1; i <= NumCloseness; i++ {
+		dst = append(dst, m.gcAt(h, day, slot-i, region))
+	}
+	for i := 1; i <= NumPeriod; i++ {
+		dst = append(dst, m.gcAt(h, day-i, slot, region))
+	}
+	for i := 1; i <= NumTrend; i++ {
+		dst = append(dst, m.gcAt(h, day-7*i, slot, region))
+	}
+	return dst
+}
+
+// Train implements Predictor.
+func (m *STNetGC) Train(h *History, trainDays int) error {
+	if len(m.adj) == 0 {
+		return errors.New("predict: STNetGC needs an adjacency; use NewSTNetGC")
+	}
+	if len(m.adj) != h.NumRegions {
+		return errors.New("predict: STNetGC adjacency does not match history regions")
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 1.0
+	}
+	var X [][]float64
+	var y []float64
+	var regions []int
+	for day := MinLookbackDays; day < trainDays && day < h.Days(); day++ {
+		for slot := 0; slot < h.SlotsPerDay; slot++ {
+			for region := 0; region < h.NumRegions; region++ {
+				X = append(X, m.features(nil, h, day, slot, region))
+				y = append(y, h.At(day, slot, region))
+				regions = append(regions, region)
+			}
+		}
+	}
+	if len(X) == 0 {
+		return errors.New("predict: STNetGC has no training rows; need more history days")
+	}
+	w, err := ridgeSolve(X, y, m.Lambda)
+	if err != nil {
+		return err
+	}
+	m.w = w
+	m.regionBias = make([]float64, h.NumRegions)
+	counts := make([]float64, h.NumRegions)
+	for i := range X {
+		resid := y[i] - dot(w, X[i])
+		m.regionBias[regions[i]] += resid
+		counts[regions[i]]++
+	}
+	for r := range m.regionBias {
+		if counts[r] > 0 {
+			m.regionBias[r] /= counts[r]
+		}
+	}
+	return nil
+}
+
+// Predict implements Predictor. An untrained model predicts 0.
+func (m *STNetGC) Predict(h *History, day, slot, region int) float64 {
+	if m.w == nil {
+		return 0
+	}
+	f := m.features(make([]float64, 0, stnetgcNumFeatures), h, day, slot, region)
+	v := dot(m.w, f)
+	if region < len(m.regionBias) {
+		v += m.regionBias[region]
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

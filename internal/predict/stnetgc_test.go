@@ -1,0 +1,102 @@
+package predict
+
+import (
+	"testing"
+
+	"mrvd/internal/geo"
+)
+
+func TestSTNetGCTrainsAndPredicts(t *testing.T) {
+	h := testHistory(t)
+	grid := geo.NewGrid(geo.NYCBBox, 4, 4)
+	m := NewSTNetGCFromGrid(grid)
+	if err := m.Train(h, h.Days()-7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(m, h, h.Days()-7, h.Days())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("STNet-GC RMSE = %.2f%%", res.RelativeRMSE)
+	if res.RelativeRMSE <= 0 || res.RelativeRMSE > 100 {
+		t.Errorf("implausible RMSE %v", res.RelativeRMSE)
+	}
+	// The GC variant must at least beat the naive HA baseline.
+	ha, err := Evaluate(HA{}, h, h.Days()-7, h.Days())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelativeRMSE >= ha.RelativeRMSE {
+		t.Errorf("STNet-GC (%.2f%%) should beat HA (%.2f%%)", res.RelativeRMSE, ha.RelativeRMSE)
+	}
+}
+
+func TestSTNetGCComparableToSTNet(t *testing.T) {
+	// On a regular grid the GC variant should be in the same accuracy
+	// band as plain STNet (the appendix positions it as the fallback for
+	// irregular zones, not an upgrade).
+	h := testHistory(t)
+	grid := geo.NewGrid(geo.NYCBBox, 4, 4)
+	gc := NewSTNetGCFromGrid(grid)
+	st := &STNet{}
+	if err := gc.Train(h, h.Days()-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Train(h, h.Days()-7); err != nil {
+		t.Fatal(err)
+	}
+	rgc, _ := Evaluate(gc, h, h.Days()-7, h.Days())
+	rst, _ := Evaluate(st, h, h.Days()-7, h.Days())
+	t.Logf("STNet=%.2f%% STNet-GC=%.2f%%", rst.RelativeRMSE, rgc.RelativeRMSE)
+	if rgc.RelativeRMSE > 1.5*rst.RelativeRMSE {
+		t.Errorf("STNet-GC (%.2f%%) far worse than STNet (%.2f%%)",
+			rgc.RelativeRMSE, rst.RelativeRMSE)
+	}
+}
+
+func TestSTNetGCRequiresMatchingAdjacency(t *testing.T) {
+	h := testHistory(t)
+	if err := (&STNetGC{}).Train(h, h.Days()); err == nil {
+		t.Error("empty adjacency accepted")
+	}
+	bad := NewSTNetGC(make([][]int32, 3)) // wrong region count
+	if err := bad.Train(h, h.Days()); err == nil {
+		t.Error("mismatched adjacency accepted")
+	}
+}
+
+func TestSTNetGCUntrainedPredictsZero(t *testing.T) {
+	h := testHistory(t)
+	m := NewSTNetGCFromGrid(geo.NewGrid(geo.NYCBBox, 4, 4))
+	if got := m.Predict(h, h.Days()-1, 3, 2); got != 0 {
+		t.Errorf("untrained prediction = %v", got)
+	}
+}
+
+func TestSTNetGCAdjacencyCopied(t *testing.T) {
+	adj := [][]int32{{1}, {0}}
+	m := NewSTNetGC(adj)
+	adj[0][0] = 99 // mutate the caller's slice
+	if m.adj[0][0] != 1 {
+		t.Error("adjacency not defensively copied")
+	}
+}
+
+func TestSTNetGCOverIrregularZones(t *testing.T) {
+	// The DeepST-GC use case: an irregular Voronoi partition supplies
+	// the adjacency instead of a grid. The history's 16 regions pair
+	// with a 16-zone partition.
+	h := testHistory(t)
+	zones := geo.NewRandomZones(geo.NYCBBox, h.NumRegions, 9)
+	m := NewSTNetGC(zones.Adjacency())
+	if err := m.Train(h, h.Days()-7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(m, h, h.Days()-7, h.Days())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelativeRMSE <= 0 || res.RelativeRMSE > 100 {
+		t.Errorf("zone-adjacency STNet-GC RMSE = %v%%", res.RelativeRMSE)
+	}
+}

@@ -1,0 +1,142 @@
+package queueing
+
+import "math"
+
+// RegionState is the demand-supply snapshot of one region at the start of
+// a batch, in the units of Algorithm 1 lines 3-6.
+type RegionState struct {
+	Waiting          int // |R_k|: waiting riders
+	Available        int // |D_k|: available drivers
+	PredictedRiders  int // |^R_k|: predicted upcoming riders in the window
+	PredictedDrivers int // |^D_k|: expected rejoining drivers in the window
+}
+
+// Analyzer evaluates and caches per-region expected idle times for one
+// batch. The dispatch loop mutates driver supply as it commits pairs
+// (Algorithm 2 line 11 bumps mu of the destination region), so the cache
+// invalidates per region on update.
+type Analyzer struct {
+	model   *Model
+	tc      float64 // scheduling window length in seconds
+	states  []RegionState
+	muBump  []int // extra rejoining drivers committed this batch
+	etCache []float64
+	etValid []bool
+}
+
+// NewAnalyzer builds an analyzer over numRegions regions for a scheduling
+// window of tc seconds.
+func NewAnalyzer(model *Model, numRegions int, tc float64) *Analyzer {
+	return &Analyzer{
+		model:   model,
+		tc:      tc,
+		states:  make([]RegionState, numRegions),
+		muBump:  make([]int, numRegions),
+		etCache: make([]float64, numRegions),
+		etValid: make([]bool, numRegions),
+	}
+}
+
+// NumRegions returns the number of regions tracked.
+func (a *Analyzer) NumRegions() int { return len(a.states) }
+
+// Reset installs fresh per-region snapshots for a new batch and clears
+// all committed-mu bumps and cached idle times.
+func (a *Analyzer) Reset(states []RegionState) {
+	copy(a.states, states)
+	for i := len(states); i < len(a.states); i++ {
+		a.states[i] = RegionState{}
+	}
+	for i := range a.muBump {
+		a.muBump[i] = 0
+		a.etValid[i] = false
+	}
+}
+
+// SetRegion installs one region's snapshot (primarily for tests).
+func (a *Analyzer) SetRegion(region int, s RegionState) {
+	a.states[region] = s
+	a.muBump[region] = 0
+	a.etValid[region] = false
+}
+
+// Rates returns the effective (lambda, mu) for a region, including any
+// mu bumps committed during the current batch.
+func (a *Analyzer) Rates(region int) (lambda, mu float64) {
+	s := a.states[region]
+	lambda, mu = Rates(s.Waiting, s.Available,
+		s.PredictedRiders, s.PredictedDrivers+a.muBump[region], a.tc)
+	return lambda, mu
+}
+
+// congestionCap returns K for a region: the number of drivers that could
+// congest there during the window (available now plus all expected or
+// committed arrivals).
+func (a *Analyzer) congestionCap(region int) int {
+	s := a.states[region]
+	k := s.Available + s.PredictedDrivers + a.muBump[region]
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// ExpectedIdleTime returns the memoized ET for a region under its current
+// effective rates.
+func (a *Analyzer) ExpectedIdleTime(region int) float64 {
+	if a.etValid[region] {
+		return a.etCache[region]
+	}
+	lambda, mu := a.Rates(region)
+	et := a.model.ExpectedIdleTime(lambda, mu, a.congestionCap(region))
+	a.etCache[region] = et
+	a.etValid[region] = true
+	return et
+}
+
+// IdleRatio scores a candidate pair whose rider travels for cost seconds
+// and ends in destRegion (Eq. 17).
+func (a *Analyzer) IdleRatio(cost float64, destRegion int) float64 {
+	return IdleRatio(cost, a.ExpectedIdleTime(destRegion))
+}
+
+// CommitDestination records that a selected rider will deliver a driver
+// into destRegion, raising its mu (Algorithm 2 line 11) and invalidating
+// the cached ET.
+func (a *Analyzer) CommitDestination(destRegion int) {
+	a.muBump[destRegion]++
+	a.etValid[destRegion] = false
+}
+
+// UncommitDestination reverses CommitDestination, used by the local
+// search when it swaps a driver's assigned rider (Algorithm 3 line 7).
+func (a *Analyzer) UncommitDestination(destRegion int) {
+	if a.muBump[destRegion] > 0 {
+		a.muBump[destRegion]--
+	}
+	a.etValid[destRegion] = false
+}
+
+// SnapshotET returns the current ET of every region, +Inf for regions
+// with no rider arrivals. Used by Figure 6's predicted-idle-time map.
+func (a *Analyzer) SnapshotET() []float64 {
+	out := make([]float64, len(a.states))
+	for r := range a.states {
+		out[r] = a.ExpectedIdleTime(r)
+	}
+	return out
+}
+
+// TotalWaiting sums waiting riders across regions (diagnostics).
+func (a *Analyzer) TotalWaiting() int {
+	n := 0
+	for _, s := range a.states {
+		n += s.Waiting
+	}
+	return n
+}
+
+// FiniteET reports whether the region has a finite expected idle time.
+func (a *Analyzer) FiniteET(region int) bool {
+	return !math.IsInf(a.ExpectedIdleTime(region), 1)
+}

@@ -1,0 +1,118 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestAnalyzer(tc float64) *Analyzer {
+	return NewAnalyzer(New(Config{Beta: 0.05}), 4, tc)
+}
+
+func TestAnalyzerRatesMatchEquations(t *testing.T) {
+	a := newTestAnalyzer(600)
+	a.SetRegion(0, RegionState{Waiting: 3, Available: 10, PredictedRiders: 30, PredictedDrivers: 12})
+	l, mu := a.Rates(0)
+	wantL, wantMu := Rates(3, 10, 30, 12, 600)
+	if l != wantL || mu != wantMu {
+		t.Errorf("rates = (%v,%v), want (%v,%v)", l, mu, wantL, wantMu)
+	}
+}
+
+func TestAnalyzerCommitRaisesMuAndIdleTime(t *testing.T) {
+	a := newTestAnalyzer(600)
+	// A region with demand surplus: committing destinations adds supply,
+	// which must weakly increase the expected idle time there.
+	a.SetRegion(1, RegionState{Waiting: 8, Available: 2, PredictedRiders: 20, PredictedDrivers: 5})
+	before := a.ExpectedIdleTime(1)
+	_, muBefore := a.Rates(1)
+	a.CommitDestination(1)
+	_, muAfter := a.Rates(1)
+	if muAfter <= muBefore {
+		t.Errorf("mu did not increase on commit: %v -> %v", muBefore, muAfter)
+	}
+	after := a.ExpectedIdleTime(1)
+	if after < before {
+		t.Errorf("ET decreased after committing a driver: %v -> %v", before, after)
+	}
+}
+
+func TestAnalyzerUncommitRestores(t *testing.T) {
+	a := newTestAnalyzer(600)
+	a.SetRegion(2, RegionState{Waiting: 5, Available: 3, PredictedRiders: 15, PredictedDrivers: 6})
+	base := a.ExpectedIdleTime(2)
+	a.CommitDestination(2)
+	a.UncommitDestination(2)
+	if got := a.ExpectedIdleTime(2); math.Abs(got-base) > 1e-12 {
+		t.Errorf("ET after commit+uncommit = %v, want %v", got, base)
+	}
+	// Uncommitting below zero clamps.
+	a.UncommitDestination(2)
+	if got := a.ExpectedIdleTime(2); math.Abs(got-base) > 1e-12 {
+		t.Errorf("ET after extra uncommit = %v, want %v", got, base)
+	}
+}
+
+func TestAnalyzerResetClearsBumps(t *testing.T) {
+	a := newTestAnalyzer(600)
+	states := []RegionState{
+		{Waiting: 1, Available: 1, PredictedRiders: 10, PredictedDrivers: 10},
+		{Waiting: 2, Available: 0, PredictedRiders: 5, PredictedDrivers: 1},
+		{}, {},
+	}
+	a.Reset(states)
+	base := a.ExpectedIdleTime(1)
+	a.CommitDestination(1)
+	a.Reset(states)
+	if got := a.ExpectedIdleTime(1); math.Abs(got-base) > 1e-12 {
+		t.Errorf("Reset did not clear bumps: %v vs %v", got, base)
+	}
+}
+
+func TestAnalyzerIdleRatioUsesDestinationET(t *testing.T) {
+	a := newTestAnalyzer(600)
+	// Region 0: hot (many riders coming) -> short ET.
+	a.SetRegion(0, RegionState{Waiting: 10, Available: 0, PredictedRiders: 50, PredictedDrivers: 2})
+	// Region 3: cold (no riders coming) -> infinite ET.
+	a.SetRegion(3, RegionState{Waiting: 0, Available: 5, PredictedRiders: 0, PredictedDrivers: 8})
+	hot := a.IdleRatio(600, 0)
+	cold := a.IdleRatio(600, 3)
+	if hot >= cold {
+		t.Errorf("hot-region ratio %v should beat cold-region ratio %v", hot, cold)
+	}
+	if cold != 1 {
+		t.Errorf("cold region (lambda=0) ratio = %v, want 1", cold)
+	}
+	if !a.FiniteET(0) || a.FiniteET(3) {
+		t.Error("FiniteET misclassifies regions")
+	}
+}
+
+func TestAnalyzerSnapshotAndTotals(t *testing.T) {
+	a := newTestAnalyzer(300)
+	a.SetRegion(0, RegionState{Waiting: 4, Available: 1, PredictedRiders: 10, PredictedDrivers: 3})
+	a.SetRegion(1, RegionState{Waiting: 2, Available: 2, PredictedRiders: 8, PredictedDrivers: 4})
+	snap := a.SnapshotET()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length %d, want 4", len(snap))
+	}
+	if snap[0] != a.ExpectedIdleTime(0) {
+		t.Error("snapshot disagrees with direct query")
+	}
+	if got := a.TotalWaiting(); got != 6 {
+		t.Errorf("TotalWaiting = %d, want 6", got)
+	}
+	if a.NumRegions() != 4 {
+		t.Errorf("NumRegions = %d, want 4", a.NumRegions())
+	}
+}
+
+func TestAnalyzerCacheConsistency(t *testing.T) {
+	a := newTestAnalyzer(600)
+	a.SetRegion(0, RegionState{Waiting: 5, Available: 2, PredictedRiders: 12, PredictedDrivers: 4})
+	first := a.ExpectedIdleTime(0)
+	second := a.ExpectedIdleTime(0) // cached path
+	if first != second {
+		t.Errorf("cached ET differs: %v vs %v", first, second)
+	}
+}

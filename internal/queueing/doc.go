@@ -1,0 +1,20 @@
+// Package queueing implements the paper's central analytical contribution:
+// a double-sided birth-death queueing model for one region of the city
+// (Section 4). Positive states n mean n riders are waiting; negative
+// states mean |n| idle drivers are congested in the region. Riders arrive
+// Poisson(lambda), rejoining drivers arrive Poisson(mu), and impatient
+// riders renege at a state-dependent rate pi(n) = e^(beta*n)/mu (Eq. 4).
+//
+// From the flow-balance steady state (Eqs. 5-6) the package derives the
+// normalizing probability p0 and the expected idle time ET(lambda, mu) a
+// driver will sit unassigned after rejoining the region, in the paper's
+// three regimes:
+//
+//   - more riders arrive, lambda > mu   (Eqs. 7-10)
+//   - more drivers rejoin, lambda < mu  (Eqs. 11-13, truncated at K)
+//   - balanced, lambda = mu             (Eqs. 14-16)
+//
+// It also provides the batch-window arrival-rate estimators of
+// Eqs. 18-19 and a Monte-Carlo chain simulator used to validate the
+// closed forms in tests.
+package queueing

@@ -1,0 +1,296 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenege(t *testing.T) {
+	m := New(Config{Beta: 0.1})
+	if got := m.Renege(0, 2); got != 0 {
+		t.Errorf("Renege(0) = %v, want 0", got)
+	}
+	if got := m.Renege(-3, 2); got != 0 {
+		t.Errorf("Renege(-3) = %v, want 0", got)
+	}
+	want := math.Exp(0.1*3) / 2
+	if got := m.Renege(3, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Renege(3) = %v, want %v", got, want)
+	}
+	// Zero mu must not divide by zero.
+	if got := m.Renege(1, 0); math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("Renege with mu=0 = %v", got)
+	}
+	// Reneging grows with queue length.
+	if m.Renege(5, 1) <= m.Renege(2, 1) {
+		t.Error("reneging rate should increase with n")
+	}
+}
+
+func TestP0DegenerateInputs(t *testing.T) {
+	m := NewDefault()
+	if got := m.P0(0, 1, 10); got != 0 {
+		t.Errorf("P0(lambda=0) = %v, want 0", got)
+	}
+	if got := m.P0(-1, 1, 10); got != 0 {
+		t.Errorf("P0(lambda<0) = %v, want 0", got)
+	}
+	if got := m.P0(math.NaN(), 1, 10); got != 0 {
+		t.Errorf("P0(NaN) = %v, want 0", got)
+	}
+	if got := m.P0(1, 2, -5); got <= 0 {
+		t.Errorf("P0 with negative K = %v, want > 0 via K=0", got)
+	}
+}
+
+// totalProbability sums p_n over the truncated support.
+func totalProbability(m *Model, lambda, mu float64, K int) float64 {
+	sum := 0.0
+	lo := -K
+	if lambda > mu && !m.balanced(lambda, mu) {
+		lo = -4000 // infinite side decays geometrically; 4000 is plenty
+	}
+	for n := lo; n <= 3000; n++ {
+		sum += m.StateProb(n, lambda, mu, K)
+	}
+	return sum
+}
+
+func TestStateProbsSumToOneAllRegimes(t *testing.T) {
+	m := New(Config{Beta: 0.05})
+	cases := []struct {
+		name       string
+		lambda, mu float64
+		K          int
+	}{
+		{"more riders", 0.5, 0.2, 50},
+		{"more riders close", 0.5, 0.45, 50},
+		{"more drivers", 0.2, 0.5, 40},
+		{"more drivers mild", 0.4, 0.5, 60},
+		{"balanced", 0.3, 0.3, 25},
+		{"zero mu", 0.3, 0, 10},
+	}
+	for _, c := range cases {
+		got := totalProbability(m, c.lambda, c.mu, c.K)
+		if math.Abs(got-1) > 1e-6 {
+			t.Errorf("%s: probabilities sum to %v", c.name, got)
+		}
+	}
+}
+
+func TestStateProbFlowBalance(t *testing.T) {
+	// Eq. 5: mu_n * p_n = lambda_{n-1} * p_{n-1} for every state.
+	m := New(Config{Beta: 0.08})
+	lambda, mu, K := 0.4, 0.3, 30
+	for n := -10; n <= 20; n++ {
+		if n == -K {
+			continue
+		}
+		pn := m.StateProb(n, lambda, mu, K)
+		pn1 := m.StateProb(n-1, lambda, mu, K)
+		var muN float64
+		if n <= 0 {
+			muN = mu
+		} else {
+			muN = mu + m.Renege(n, mu)
+		}
+		lhs := muN * pn
+		rhs := lambda * pn1
+		if math.Abs(lhs-rhs) > 1e-12*math.Max(1, math.Abs(lhs)) {
+			t.Errorf("flow balance violated at n=%d: %v vs %v", n, lhs, rhs)
+		}
+	}
+}
+
+func TestStateProbTruncationAtK(t *testing.T) {
+	m := NewDefault()
+	// lambda < mu: states below -K have zero probability.
+	if p := m.StateProb(-11, 0.2, 0.5, 10); p != 0 {
+		t.Errorf("p(-11) with K=10 = %v, want 0", p)
+	}
+	if p := m.StateProb(-10, 0.2, 0.5, 10); p <= 0 {
+		t.Errorf("p(-10) with K=10 = %v, want > 0", p)
+	}
+}
+
+func TestExpectedIdleTimeMoreRidersClosedForm(t *testing.T) {
+	// With beta large the positive series vanishes slowly; verify the
+	// identity ET = lambda*p0/(lambda-mu)^2 holds exactly by construction
+	// and is finite/positive across a sweep.
+	m := New(Config{Beta: 0.05})
+	for _, mu := range []float64{0, 0.1, 0.3, 0.49} {
+		lambda := 0.5
+		et := m.ExpectedIdleTime(lambda, mu, 100)
+		p0 := m.P0(lambda, mu, 100)
+		want := lambda * p0 / ((lambda - mu) * (lambda - mu))
+		if math.Abs(et-want) > 1e-12 {
+			t.Errorf("mu=%v: ET=%v, want %v", mu, et, want)
+		}
+		if et <= 0 || math.IsInf(et, 1) {
+			t.Errorf("mu=%v: ET=%v not positive finite", mu, et)
+		}
+	}
+}
+
+func TestExpectedIdleTimeBalancedClosedForm(t *testing.T) {
+	m := New(Config{Beta: 0.05})
+	lambda := 0.25
+	K := 12
+	et := m.ExpectedIdleTime(lambda, lambda, K)
+	p0 := m.P0(lambda, lambda, K)
+	want := p0 * float64(K+1) * float64(K+2) / (2 * lambda)
+	if math.Abs(et-want) > 1e-12 {
+		t.Errorf("balanced ET=%v, want %v", et, want)
+	}
+}
+
+func TestExpectedIdleTimeMoreDriversMatchesDirectSum(t *testing.T) {
+	// Eq. 13 should equal the direct sum p0/lambda * sum (i+1) theta^i.
+	m := New(Config{Beta: 0.05})
+	lambda, mu := 0.2, 0.35
+	K := 25
+	et := m.ExpectedIdleTime(lambda, mu, K)
+	p0 := m.P0(lambda, mu, K)
+	theta := mu / lambda
+	direct := 0.0
+	term := 1.0
+	for i := 0; i <= K; i++ {
+		direct += float64(i+1) * term
+		term *= theta
+	}
+	direct *= p0 / lambda
+	if math.Abs(et-direct) > 1e-9*direct {
+		t.Errorf("ET=%v, direct sum %v", et, direct)
+	}
+}
+
+func TestExpectedIdleTimeInfiniteWhenNoRiders(t *testing.T) {
+	m := NewDefault()
+	if et := m.ExpectedIdleTime(0, 0.5, 10); !math.IsInf(et, 1) {
+		t.Errorf("ET with lambda=0 = %v, want +Inf", et)
+	}
+}
+
+func TestExpectedIdleTimeLargeKOverflowSafe(t *testing.T) {
+	// theta = 2, K = 5000: theta^K overflows float64 by thousands of
+	// orders of magnitude; the scaled series must stay finite and the
+	// asymptotic ET ~ (K+1)/lambda must emerge (queue almost surely full).
+	m := NewDefault()
+	lambda, mu := 0.1, 0.2
+	K := 5000
+	et := m.ExpectedIdleTime(lambda, mu, K)
+	if math.IsNaN(et) || math.IsInf(et, 1) {
+		t.Fatalf("ET overflowed: %v", et)
+	}
+	asym := float64(K+1) / lambda
+	if math.Abs(et-asym)/asym > 0.05 {
+		t.Errorf("large-K ET = %v, want ~%v", et, asym)
+	}
+	if p0 := m.P0(lambda, mu, K); p0 < 0 || p0 > 1e-100 {
+		t.Errorf("large-K p0 = %v, want tiny positive", p0)
+	}
+}
+
+func TestExpectedIdleTimeMonotoneInMu(t *testing.T) {
+	// More rejoining drivers means longer idle waits for a newcomer.
+	m := NewDefault()
+	lambda := 0.3
+	prev := -1.0
+	for _, mu := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		et := m.ExpectedIdleTime(lambda, mu, 40)
+		if et < prev {
+			t.Fatalf("ET not monotone in mu: ET(%v)=%v < %v", mu, et, prev)
+		}
+		prev = et
+	}
+}
+
+func TestExpectedIdleTimeMonotoneInLambdaProperty(t *testing.T) {
+	// More rider demand means shorter idle waits, all else equal.
+	m := NewDefault()
+	f := func(seed uint8) bool {
+		mu := 0.1 + float64(seed%50)/100
+		l1 := mu * 0.5
+		l2 := mu * 1.5
+		return m.ExpectedIdleTime(l2, mu, 30) <= m.ExpectedIdleTime(l1, mu, 30)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatesEquations18And19(t *testing.T) {
+	tc := 600.0
+	// |R_k| <= |D_k|: lambda = ^R/tc, mu = (^D + D - R)/tc.
+	l, mu := Rates(3, 10, 30, 12, tc)
+	if math.Abs(l-30.0/tc) > 1e-12 {
+		t.Errorf("lambda = %v, want %v", l, 30.0/tc)
+	}
+	if math.Abs(mu-(12.0+10-3)/tc) > 1e-12 {
+		t.Errorf("mu = %v, want %v", mu, (12.0+10-3)/tc)
+	}
+	// |R_k| > |D_k|: lambda = (^R + R - D)/tc, mu = ^D/tc.
+	l, mu = Rates(20, 5, 30, 12, tc)
+	if math.Abs(l-(30.0+20-5)/tc) > 1e-12 {
+		t.Errorf("lambda = %v, want %v", l, (30.0+20-5)/tc)
+	}
+	if math.Abs(mu-12.0/tc) > 1e-12 {
+		t.Errorf("mu = %v, want %v", mu, 12.0/tc)
+	}
+}
+
+func TestRatesEdgeCases(t *testing.T) {
+	if l, mu := Rates(1, 1, 1, 1, 0); l != 0 || mu != 0 {
+		t.Errorf("zero window rates = %v, %v", l, mu)
+	}
+	// Never negative even with pathological inputs.
+	l, mu := Rates(0, 100, 0, 0, 60)
+	if l < 0 || mu < 0 {
+		t.Errorf("negative rates %v %v", l, mu)
+	}
+}
+
+func TestIdleRatioBounds(t *testing.T) {
+	if got := IdleRatio(100, math.Inf(1)); got != 1 {
+		t.Errorf("IR with infinite ET = %v, want 1", got)
+	}
+	if got := IdleRatio(0, 0); got != 0 {
+		t.Errorf("IR(0,0) = %v, want 0", got)
+	}
+	if got := IdleRatio(300, 100); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("IR(300,100) = %v, want 0.25", got)
+	}
+	if got := IdleRatio(-5, -5); got != 0 {
+		t.Errorf("IR with negative inputs = %v, want 0", got)
+	}
+}
+
+func TestIdleRatioOrderingMatchesPaperRules(t *testing.T) {
+	// Rule (a): higher travel cost -> lower (better) ratio.
+	if IdleRatio(1000, 50) >= IdleRatio(100, 50) {
+		t.Error("longer trips should have lower idle ratio")
+	}
+	// Rule (b): shorter expected idle -> lower ratio.
+	if IdleRatio(300, 10) >= IdleRatio(300, 200) {
+		t.Error("shorter idle time should have lower idle ratio")
+	}
+}
+
+func TestIdleRatioInUnitInterval(t *testing.T) {
+	f := func(cost, et float64) bool {
+		cost = math.Abs(cost)
+		et = math.Abs(et)
+		ir := IdleRatio(cost, et)
+		return ir >= 0 && ir <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if s := NewDefault().String(); s == "" {
+		t.Error("empty String()")
+	}
+}

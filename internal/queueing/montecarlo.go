@@ -1,0 +1,102 @@
+package queueing
+
+import (
+	"math/rand"
+
+	"mrvd/internal/stats"
+)
+
+// ChainSim runs a continuous-time Monte-Carlo simulation of the
+// double-sided birth-death chain and measures the realized idle times of
+// arriving drivers. It validates the closed-form ET in tests and powers
+// the Table 3 estimation-accuracy experiment's ground truth at the
+// region level.
+type ChainSim struct {
+	Lambda float64 // rider arrival rate (per second)
+	Mu     float64 // driver arrival rate (per second)
+	Beta   float64 // reneging exponent
+	K      int     // max congested drivers
+}
+
+// ChainResult aggregates one simulation run.
+type ChainResult struct {
+	DriverIdleTimes []float64 // realized idle time of each matched driver
+	Reneged         int       // riders who gave up
+	Served          int       // riders matched to a driver
+}
+
+// Run simulates the chain for the given horizon (seconds). Drivers are
+// dispatched FCFS. A rider arriving while drivers are congested consumes
+// the longest-waiting driver immediately; a driver arriving while riders
+// wait is matched immediately (idle time 0). Riders renege after an
+// exponential patience drawn from the state-dependent rate pi(n).
+func (c ChainSim) Run(rng *rand.Rand, horizon float64) ChainResult {
+	model := New(Config{Beta: c.Beta})
+	var res ChainResult
+	type waitingDriver struct{ since float64 }
+	var drivers []waitingDriver // FIFO queue of congested drivers
+	riders := 0                 // count of waiting riders (patience handled in aggregate)
+	now := 0.0
+	for {
+		// Competing exponential clocks: rider arrival, driver arrival,
+		// and aggregate reneging of the current rider queue.
+		renegeRate := 0.0
+		for i := 1; i <= riders; i++ {
+			renegeRate += model.Renege(i, c.Mu)
+		}
+		total := c.Lambda + c.Mu + renegeRate
+		if total <= 0 {
+			break
+		}
+		now += stats.Exponential(rng, total)
+		if now > horizon {
+			break
+		}
+		u := rng.Float64() * total
+		switch {
+		case u < c.Lambda:
+			// Rider arrives.
+			if len(drivers) > 0 {
+				d := drivers[0]
+				drivers = drivers[1:]
+				res.DriverIdleTimes = append(res.DriverIdleTimes, now-d.since)
+				res.Served++
+			} else {
+				riders++
+			}
+		case u < c.Lambda+c.Mu:
+			// Driver rejoins.
+			if riders > 0 {
+				riders--
+				res.DriverIdleTimes = append(res.DriverIdleTimes, 0)
+				res.Served++
+			} else if len(drivers) <= c.K {
+				// Eq. 13 lets an arriving driver find up to K drivers
+				// ahead (state -K) and still join as the (K+1)th waiter;
+				// beyond that the region is saturated and the platform
+				// would never send more drivers there.
+				drivers = append(drivers, waitingDriver{since: now})
+			}
+		default:
+			// One waiting rider reneges.
+			if riders > 0 {
+				riders--
+				res.Reneged++
+			}
+		}
+	}
+	return res
+}
+
+// MeanIdle returns the average realized driver idle time, or 0 when no
+// driver was matched.
+func (r ChainResult) MeanIdle() float64 {
+	if len(r.DriverIdleTimes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range r.DriverIdleTimes {
+		sum += t
+	}
+	return sum / float64(len(r.DriverIdleTimes))
+}

@@ -1,0 +1,87 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// runChainMean runs the chain simulator repeatedly and returns the pooled
+// mean driver idle time.
+func runChainMean(t *testing.T, c ChainSim, horizon float64, seeds int) float64 {
+	t.Helper()
+	sum, n := 0.0, 0
+	for s := 0; s < seeds; s++ {
+		res := c.Run(rand.New(rand.NewSource(int64(1000+s))), horizon)
+		for _, it := range res.DriverIdleTimes {
+			sum += it
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("chain simulation matched no drivers")
+	}
+	return sum / float64(n)
+}
+
+func TestMonteCarloValidatesMoreRidersRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo in -short mode")
+	}
+	m := New(Config{Beta: 0.05})
+	c := ChainSim{Lambda: 0.5, Mu: 0.3, Beta: 0.05, K: 10000}
+	want := m.ExpectedIdleTime(c.Lambda, c.Mu, c.K)
+	got := runChainMean(t, c, 200000, 4)
+	if math.Abs(got-want)/want > 0.08 {
+		t.Errorf("empirical idle %.3f vs closed-form %.3f (>8%% off)", got, want)
+	}
+}
+
+func TestMonteCarloValidatesMoreDriversRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo in -short mode")
+	}
+	m := New(Config{Beta: 0.05})
+	c := ChainSim{Lambda: 0.4, Mu: 0.5, Beta: 0.05, K: 15}
+	want := m.ExpectedIdleTime(c.Lambda, c.Mu, c.K)
+	got := runChainMean(t, c, 200000, 4)
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("empirical idle %.3f vs closed-form %.3f (>10%% off)", got, want)
+	}
+}
+
+func TestMonteCarloValidatesBalancedRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo in -short mode")
+	}
+	m := New(Config{Beta: 0.05})
+	c := ChainSim{Lambda: 0.3, Mu: 0.3, Beta: 0.05, K: 12}
+	want := m.ExpectedIdleTime(c.Lambda, c.Mu, c.K)
+	got := runChainMean(t, c, 300000, 4)
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("empirical idle %.3f vs closed-form %.3f (>10%% off)", got, want)
+	}
+}
+
+func TestMonteCarloRenegingHappens(t *testing.T) {
+	// Heavy rider surplus with aggressive reneging must drop riders.
+	c := ChainSim{Lambda: 1.0, Mu: 0.05, Beta: 0.5, K: 5}
+	res := c.Run(rand.New(rand.NewSource(3)), 20000)
+	if res.Reneged == 0 {
+		t.Error("no riders reneged under heavy overload")
+	}
+	if res.Served == 0 {
+		t.Error("no riders served")
+	}
+}
+
+func TestMonteCarloZeroRates(t *testing.T) {
+	c := ChainSim{Lambda: 0, Mu: 0, Beta: 0.1, K: 5}
+	res := c.Run(rand.New(rand.NewSource(1)), 1000)
+	if res.Served != 0 || res.Reneged != 0 || len(res.DriverIdleTimes) != 0 {
+		t.Errorf("empty chain produced activity: %+v", res)
+	}
+	if res.MeanIdle() != 0 {
+		t.Errorf("MeanIdle of empty result = %v", res.MeanIdle())
+	}
+}

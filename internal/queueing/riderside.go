@@ -1,0 +1,105 @@
+package queueing
+
+import "math"
+
+// RenegeProb returns the steady-state fraction of riders who renege
+// before being served: the aggregate reneging flow divided by the rider
+// arrival rate,
+//
+//	P(renege) = (1/lambda) * sum_{n>0} pi(n) * p_n.
+//
+// It complements ExpectedIdleTime on the rider side of the double-sided
+// queue: the platform loses exactly this fraction of demand in a region
+// whose rates stay at (lambda, mu). Degenerate inputs return 0.
+func (m *Model) RenegeProb(lambda, mu float64, K int) float64 {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsNaN(mu) {
+		return 0
+	}
+	if mu < 0 {
+		mu = 0
+	}
+	p0 := m.P0(lambda, mu, K)
+	if p0 == 0 {
+		// The normalizer degenerated (huge driver surplus): with drivers
+		// always waiting, riders are served instantly and never renege.
+		return 0
+	}
+	flow := 0.0
+	prod := 1.0
+	for n := 1; n <= m.cfg.MaxStates; n++ {
+		pi := m.Renege(n, mu)
+		prod *= lambda / (mu + pi)
+		term := pi * p0 * prod
+		flow += term
+		if p0*prod < m.cfg.Tol*(1+flow) {
+			break
+		}
+	}
+	p := flow / lambda
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// MeanWaitingRiders returns the steady-state expected number of waiting
+// riders, E[n | n > 0 side] = sum_{n>0} n * p_n.
+func (m *Model) MeanWaitingRiders(lambda, mu float64, K int) float64 {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsNaN(mu) {
+		return 0
+	}
+	if mu < 0 {
+		mu = 0
+	}
+	p0 := m.P0(lambda, mu, K)
+	if p0 == 0 {
+		return 0
+	}
+	sum := 0.0
+	prod := 1.0
+	for n := 1; n <= m.cfg.MaxStates; n++ {
+		prod *= lambda / (mu + m.Renege(n, mu))
+		sum += float64(n) * p0 * prod
+		if p0*prod < m.cfg.Tol*(1+sum) {
+			break
+		}
+	}
+	return sum
+}
+
+// MeanCongestedDrivers returns the steady-state expected number of idle
+// drivers waiting in the region, sum_{n<0} |n| * p_n (capped at K when
+// lambda <= mu).
+func (m *Model) MeanCongestedDrivers(lambda, mu float64, K int) float64 {
+	if lambda <= 0 || mu <= 0 || math.IsNaN(lambda) || math.IsNaN(mu) {
+		return 0
+	}
+	if K < 0 {
+		K = 0
+	}
+	theta := mu / lambda
+	if lambda > mu && !m.balanced(lambda, mu) {
+		// Infinite geometric side: sum_{i>=1} i * theta^i = theta/(1-theta)^2.
+		p0 := m.P0(lambda, mu, K)
+		return p0 * theta / ((1 - theta) * (1 - theta))
+	}
+	// Truncated side: reuse the overflow-safe joint series. With
+	// sumET = sum_{i=0..K} (i+1) theta^i and sumGeo = sum_{i=1..K}
+	// theta^i, the wanted sum_{i=1..K} i*theta^i = sumET - 1 - sumGeo...
+	// no: sumET - (sum_{i=0..K} theta^i) = sum i*theta^i. Compute that.
+	sumGeo, sumET, logScale := negativeSeriesScaled(theta, K)
+	iSum := sumET - (1 + sumGeo) // sum_{i=0..K} i*theta^i
+	var norm float64
+	if logScale > 0 {
+		norm = sumGeo + 1
+	} else {
+		norm = 1 + sumGeo + m.positiveSeries(lambda, mu)
+	}
+	if norm <= 0 {
+		return 0
+	}
+	return iSum / norm
+}

@@ -1,0 +1,120 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRenegeProbBounds(t *testing.T) {
+	m := New(Config{Beta: 0.05})
+	for _, c := range []struct{ lambda, mu float64 }{
+		{0.5, 0.1}, {0.5, 0.4}, {0.3, 0.3}, {0.2, 0.5}, {0.3, 0},
+	} {
+		p := m.RenegeProb(c.lambda, c.mu, 40)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("RenegeProb(%v,%v) = %v", c.lambda, c.mu, p)
+		}
+	}
+	if p := m.RenegeProb(0, 0.5, 10); p != 0 {
+		t.Errorf("RenegeProb with no riders = %v", p)
+	}
+}
+
+func TestRenegeProbDecreasesWithSupply(t *testing.T) {
+	// More rejoining drivers means fewer riders renege.
+	m := New(Config{Beta: 0.05})
+	lambda := 0.4
+	prev := 2.0
+	for _, mu := range []float64{0.05, 0.15, 0.3, 0.45, 0.6} {
+		p := m.RenegeProb(lambda, mu, 60)
+		if p > prev+1e-12 {
+			t.Fatalf("RenegeProb not decreasing: P(mu=%v)=%v > %v", mu, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestRenegeProbMatchesMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo in -short mode")
+	}
+	m := New(Config{Beta: 0.1})
+	c := ChainSim{Lambda: 0.5, Mu: 0.25, Beta: 0.1, K: 10000}
+	want := m.RenegeProb(c.Lambda, c.Mu, c.K)
+	reneged, total := 0, 0
+	for s := 0; s < 4; s++ {
+		res := c.Run(rand.New(rand.NewSource(int64(100+s))), 150000)
+		reneged += res.Reneged
+		total += res.Reneged + res.Served
+	}
+	got := float64(reneged) / float64(total)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("empirical renege rate %.4f vs analytic %.4f", got, want)
+	}
+}
+
+func TestMeanWaitingRidersMonotoneInLambda(t *testing.T) {
+	m := New(Config{Beta: 0.05})
+	mu := 0.3
+	prev := -1.0
+	for _, lambda := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		v := m.MeanWaitingRiders(lambda, mu, 40)
+		if v < prev {
+			t.Fatalf("mean queue not monotone in lambda at %v: %v < %v", lambda, v, prev)
+		}
+		prev = v
+	}
+	if v := m.MeanWaitingRiders(0, 0.3, 10); v != 0 {
+		t.Errorf("mean queue with no riders = %v", v)
+	}
+}
+
+func TestMeanCongestedDriversMonotoneInMu(t *testing.T) {
+	m := New(Config{Beta: 0.05})
+	lambda := 0.3
+	prev := -1.0
+	for _, mu := range []float64{0.05, 0.15, 0.3, 0.45, 0.6} {
+		v := m.MeanCongestedDrivers(lambda, mu, 40)
+		if v < prev-1e-9 {
+			t.Fatalf("congested drivers not monotone in mu at %v: %v < %v", mu, v, prev)
+		}
+		prev = v
+	}
+	if v := m.MeanCongestedDrivers(0.3, 0, 40); v != 0 {
+		t.Errorf("congested drivers with mu=0 = %v", v)
+	}
+}
+
+func TestMeanCongestedDriversMatchesDirectSum(t *testing.T) {
+	// Cross-check the closed/stable computation against an explicit
+	// state-probability sum in all regimes.
+	m := New(Config{Beta: 0.05})
+	for _, c := range []struct {
+		lambda, mu float64
+		K          int
+	}{
+		{0.5, 0.2, 60}, {0.2, 0.35, 30}, {0.3, 0.3, 25},
+	} {
+		want := 0.0
+		for n := 1; n <= c.K+2000; n++ {
+			want += float64(n) * m.StateProb(-n, c.lambda, c.mu, c.K)
+		}
+		got := m.MeanCongestedDrivers(c.lambda, c.mu, c.K)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("lambda=%v mu=%v: got %v, direct sum %v", c.lambda, c.mu, got, want)
+		}
+	}
+}
+
+func TestMeanCongestedDriversLargeKStable(t *testing.T) {
+	m := NewDefault()
+	v := m.MeanCongestedDrivers(0.1, 0.2, 5000)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("overflow: %v", v)
+	}
+	// Queue almost surely full: mean congested ~ K.
+	if v < 4800 || v > 5001 {
+		t.Errorf("large-K mean congested = %v, want ~5000", v)
+	}
+}

@@ -1,0 +1,60 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 20, Cols: 20, Seed: 3})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		src := NodeID(rng.Intn(g.NumNodes()))
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		dd, okD := g.ShortestPath(src, dst)
+		da, okA := g.AStar(src, dst)
+		if okD != okA {
+			t.Fatalf("reachability disagrees for %d->%d: dijkstra %v astar %v", src, dst, okD, okA)
+		}
+		if okD && math.Abs(dd-da) > 1e-9 {
+			t.Fatalf("cost disagrees for %d->%d: dijkstra %v astar %v", src, dst, dd, da)
+		}
+	}
+}
+
+func TestAStarEdgeCases(t *testing.T) {
+	g := diamond()
+	if d, ok := g.AStar(2, 2); !ok || d != 0 {
+		t.Errorf("self path = %v,%v", d, ok)
+	}
+	if _, ok := g.AStar(3, 0); ok {
+		t.Error("unreachable pair found")
+	}
+	if _, ok := g.AStar(-1, 0); ok {
+		t.Error("invalid src accepted")
+	}
+	if _, ok := g.AStar(0, NodeID(g.NumNodes())); ok {
+		t.Error("invalid dst accepted")
+	}
+}
+
+func TestAStarOnDiamond(t *testing.T) {
+	g := diamond()
+	d, ok := g.AStar(0, 3)
+	if !ok || d != 2 {
+		t.Errorf("AStar(0,3) = %v,%v, want 2,true", d, ok)
+	}
+}
+
+func TestMaxStreetSpeedMemoized(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 6, Cols: 6, Seed: 1, SpeedJitter: -1, SpeedMPS: 9})
+	s1 := g.maxStreetSpeed()
+	s2 := g.maxStreetSpeed()
+	if s1 != s2 {
+		t.Error("memoization broken")
+	}
+	if math.Abs(s1-9) > 0.3 {
+		t.Errorf("max speed %v, want ~9 (jitter disabled)", s1)
+	}
+}

@@ -1,0 +1,242 @@
+package roadnet
+
+import (
+	"math"
+	"sort"
+
+	"mrvd/internal/geo"
+)
+
+// Coster converts an origin/destination pair into a travel cost in
+// seconds. The paper treats travel time and distance interchangeably
+// given a speed (Section 2); everything downstream (simulator, dispatch,
+// queueing analysis) consumes this interface only.
+type Coster interface {
+	// Cost returns the travel time in seconds from a to b.
+	Cost(a, b geo.Point) float64
+}
+
+// GreatCircleCoster approximates travel time as L1 street distance at a
+// fixed speed. DetourFactor inflates the straight-line haversine distance
+// when L1 is disabled; with Manhattan geometry the factor is implicit.
+type GreatCircleCoster struct {
+	// SpeedMPS is the assumed average vehicle speed in meters/second.
+	SpeedMPS float64
+	// UseManhattan selects L1 (street-grid) distance instead of L2.
+	UseManhattan bool
+	// DetourFactor multiplies the L2 distance when UseManhattan is false;
+	// 1.0 means straight-line. Typical urban detour factors are ~1.3.
+	DetourFactor float64
+}
+
+// DefaultSpeedMPS is the default average vehicle speed: 11 m/s
+// (~40 km/h), a typical NYC taxi average outside the densest core.
+const DefaultSpeedMPS = 11.0
+
+// NewDefaultCoster returns the simulator's default coster: Manhattan
+// distance at DefaultSpeedMPS.
+func NewDefaultCoster() *GreatCircleCoster {
+	return &GreatCircleCoster{SpeedMPS: DefaultSpeedMPS, UseManhattan: true}
+}
+
+// Cost implements Coster.
+func (c *GreatCircleCoster) Cost(a, b geo.Point) float64 {
+	speed := c.SpeedMPS
+	if speed <= 0 {
+		speed = 8.0
+	}
+	var d float64
+	if c.UseManhattan {
+		d = geo.Manhattan(a, b)
+	} else {
+		f := c.DetourFactor
+		if f <= 0 {
+			f = 1.0
+		}
+		d = geo.Equirect(a, b) * f
+	}
+	return d / speed
+}
+
+// GraphCoster computes travel time as a shortest path on a road network,
+// snapping endpoints to their nearest graph nodes via a bucketed index.
+// Queries memoize per-source shortest-path trees up to CacheSize sources
+// (LRU-free: the cache is simply reset when full, which is fine for the
+// batched access pattern where consecutive queries share sources).
+type GraphCoster struct {
+	g         *Graph
+	snap      *snapIndex
+	cache     map[NodeID][]float64
+	CacheSize int
+	// ApproachSpeedMPS prices the off-network legs between the query
+	// points and their snapped nodes. The legs are local streets, so the
+	// default is DefaultSpeedMPS; set to 0 to ignore approach legs.
+	ApproachSpeedMPS float64
+}
+
+// NewGraphCoster wraps a road network in the Coster interface.
+func NewGraphCoster(g *Graph) *GraphCoster {
+	return &GraphCoster{
+		g:                g,
+		snap:             newSnapIndex(g),
+		cache:            make(map[NodeID][]float64),
+		CacheSize:        512,
+		ApproachSpeedMPS: DefaultSpeedMPS,
+	}
+}
+
+// Cost implements Coster. Unreachable pairs are priced at +Inf so the
+// dispatcher naturally never selects them.
+func (c *GraphCoster) Cost(a, b geo.Point) float64 {
+	na, da := c.snap.nearest(a)
+	nb, db := c.snap.nearest(b)
+	if na == InvalidNode || nb == InvalidNode {
+		return math.Inf(1)
+	}
+	tree, ok := c.cache[na]
+	if !ok {
+		if len(c.cache) >= c.CacheSize {
+			c.cache = make(map[NodeID][]float64)
+		}
+		tree = c.g.ShortestPathTree(na)
+		c.cache[na] = tree
+	}
+	d := tree[nb]
+	if math.IsInf(d, 1) {
+		return d
+	}
+	if c.ApproachSpeedMPS > 0 {
+		d += (da + db) / c.ApproachSpeedMPS
+	}
+	return d
+}
+
+// snapIndex buckets graph nodes on a coarse grid for nearest-node lookup.
+type snapIndex struct {
+	g       *Graph
+	grid    *geo.Grid
+	buckets [][]NodeID
+}
+
+func newSnapIndex(g *Graph) *snapIndex {
+	// Derive the bucketing box from the node extent with a small margin.
+	if g.NumNodes() == 0 {
+		return &snapIndex{g: g}
+	}
+	box := geo.BBox{
+		MinLng: math.Inf(1), MinLat: math.Inf(1),
+		MaxLng: math.Inf(-1), MaxLat: math.Inf(-1),
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		p := g.Point(NodeID(i))
+		box.MinLng = math.Min(box.MinLng, p.Lng)
+		box.MaxLng = math.Max(box.MaxLng, p.Lng)
+		box.MinLat = math.Min(box.MinLat, p.Lat)
+		box.MaxLat = math.Max(box.MaxLat, p.Lat)
+	}
+	const margin = 1e-6
+	box.MinLng -= margin
+	box.MinLat -= margin
+	box.MaxLng += margin
+	box.MaxLat += margin
+	dim := int(math.Sqrt(float64(g.NumNodes())))
+	if dim < 4 {
+		dim = 4
+	}
+	if dim > 128 {
+		dim = 128
+	}
+	grid := geo.NewGrid(box, dim, dim)
+	buckets := make([][]NodeID, grid.NumRegions())
+	for i := 0; i < g.NumNodes(); i++ {
+		r := grid.Region(grid.Bounds().Clamp(g.Point(NodeID(i))))
+		buckets[r] = append(buckets[r], NodeID(i))
+	}
+	return &snapIndex{g: g, grid: grid, buckets: buckets}
+}
+
+// nearest returns the closest node to p and its distance in meters,
+// expanding the ring of searched buckets until a hit is confirmed.
+func (s *snapIndex) nearest(p geo.Point) (NodeID, float64) {
+	if s.g.NumNodes() == 0 {
+		return InvalidNode, math.Inf(1)
+	}
+	p2 := s.grid.Bounds().Clamp(p)
+	best := InvalidNode
+	bestD := math.Inf(1)
+	// Expand search radius ring by ring; cell size bounds the guarantee.
+	cellMeters := s.grid.Bounds().WidthMeters() / float64(s.grid.Cols())
+	for radius := cellMeters; ; radius *= 2 {
+		for _, r := range s.grid.RegionsWithin(p2, radius) {
+			for _, id := range s.buckets[r] {
+				d := geo.Equirect(p, s.g.Point(id))
+				if d < bestD {
+					bestD = d
+					best = id
+				}
+			}
+		}
+		// A confirmed hit closer than the searched radius cannot be beaten
+		// by nodes outside it.
+		if best != InvalidNode && bestD <= radius {
+			return best, bestD
+		}
+		if radius > 2*s.grid.Bounds().WidthMeters()+2*s.grid.Bounds().HeightMeters() {
+			// Entire area searched.
+			return best, bestD
+		}
+	}
+}
+
+// RegionMatrix precomputes region-center to region-center travel times on
+// the graph, one Dijkstra tree per region. The queueing analysis and the
+// POLAR baseline consume it for region-level planning.
+func RegionMatrix(g *Graph, grid *geo.Grid) [][]float64 {
+	n := grid.NumRegions()
+	mat := make([][]float64, n)
+	snap := newSnapIndex(g)
+	centers := make([]NodeID, n)
+	for r := 0; r < n; r++ {
+		centers[r], _ = snap.nearest(grid.Center(geo.RegionID(r)))
+	}
+	for r := 0; r < n; r++ {
+		mat[r] = make([]float64, n)
+		if centers[r] == InvalidNode {
+			for c := range mat[r] {
+				mat[r][c] = math.Inf(1)
+			}
+			continue
+		}
+		tree := g.ShortestPathTree(centers[r])
+		for c := 0; c < n; c++ {
+			if centers[c] == InvalidNode {
+				mat[r][c] = math.Inf(1)
+			} else {
+				mat[r][c] = tree[centers[c]]
+			}
+		}
+	}
+	return mat
+}
+
+// MedianStreetSpeed estimates the effective network speed by sampling
+// edge costs, useful for calibrating a GreatCircleCoster against a graph.
+func MedianStreetSpeed(g *Graph) float64 {
+	if g.NumArcs() == 0 {
+		return 0
+	}
+	speeds := make([]float64, 0, g.NumArcs())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.arcs(NodeID(v)) {
+			d := geo.Equirect(g.Point(NodeID(v)), g.Point(e.to))
+			if e.cost > 0 {
+				speeds = append(speeds, d/e.cost)
+			}
+		}
+	}
+	if len(speeds) == 0 {
+		return 0
+	}
+	sort.Float64s(speeds)
+	return speeds[len(speeds)/2]
+}

@@ -1,0 +1,138 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// pqItem is one entry of the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ShortestPath returns the minimum travel cost from src to dst in seconds
+// and whether dst is reachable. It runs a lazy-deletion binary-heap
+// Dijkstra with early exit at dst.
+func (g *Graph) ShortestPath(src, dst NodeID) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	if src < 0 || dst < 0 || int(src) >= g.NumNodes() || int(dst) >= g.NumNodes() {
+		return 0, false
+	}
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := priorityQueue{{node: src, dist: 0}}
+	for len(pq) > 0 {
+		item := heap.Pop(&pq).(pqItem)
+		if item.dist > dist[item.node] {
+			continue // stale entry
+		}
+		if item.node == dst {
+			return item.dist, true
+		}
+		for _, e := range g.arcs(item.node) {
+			nd := item.dist + e.cost
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(&pq, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return 0, false
+}
+
+// ShortestPathTree computes distances from src to every node, returning
+// +Inf for unreachable ones. Used to precompute region-to-region travel
+// matrices.
+func (g *Graph) ShortestPathTree(src NodeID) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if src < 0 || int(src) >= g.NumNodes() {
+		return dist
+	}
+	dist[src] = 0
+	pq := priorityQueue{{node: src, dist: 0}}
+	for len(pq) > 0 {
+		item := heap.Pop(&pq).(pqItem)
+		if item.dist > dist[item.node] {
+			continue
+		}
+		for _, e := range g.arcs(item.node) {
+			nd := item.dist + e.cost
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(&pq, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Route returns the node sequence of a shortest src->dst path, inclusive
+// of both endpoints, and whether one exists.
+func (g *Graph) Route(src, dst NodeID) ([]NodeID, bool) {
+	if src < 0 || dst < 0 || int(src) >= g.NumNodes() || int(dst) >= g.NumNodes() {
+		return nil, false
+	}
+	if src == dst {
+		return []NodeID{src}, true
+	}
+	dist := make([]float64, g.NumNodes())
+	prev := make([]NodeID, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = InvalidNode
+	}
+	dist[src] = 0
+	pq := priorityQueue{{node: src, dist: 0}}
+	for len(pq) > 0 {
+		item := heap.Pop(&pq).(pqItem)
+		if item.dist > dist[item.node] {
+			continue
+		}
+		if item.node == dst {
+			break
+		}
+		for _, e := range g.arcs(item.node) {
+			nd := item.dist + e.cost
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = item.node
+				heap.Push(&pq, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, false
+	}
+	var path []NodeID
+	for v := dst; v != InvalidNode; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}

@@ -1,0 +1,12 @@
+// Package roadnet implements the road-network substrate the paper's
+// problem definition is stated on: a weighted graph G = <V, E> where each
+// edge carries a travel cost, plus single-source shortest paths
+// (binary-heap Dijkstra), nearest-node snapping for arbitrary lat/lng
+// coordinates, and a synthetic Manhattan-style grid network generator for
+// cities where no real map is shipped.
+//
+// Dispatch algorithms never touch the graph directly; they consume a
+// Coster, which is either graph-backed (shortest-path travel time) or the
+// cheaper great-circle approximation at a configured speed. Both are
+// provided here so experiments can ablate the choice.
+package roadnet

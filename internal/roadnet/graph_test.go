@@ -1,0 +1,190 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"mrvd/internal/geo"
+)
+
+// diamond builds a 4-node test graph:
+//
+//	0 --1s--> 1 --1s--> 3
+//	0 --5s--> 2 --1s--> 3   (and 1->2 at 0.5s)
+func diamond() *Graph {
+	b := NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddNode(geo.Point{Lng: float64(i) * 0.01, Lat: 40.7})
+	}
+	b.AddArc(0, 1, 1)
+	b.AddArc(0, 2, 5)
+	b.AddArc(1, 3, 1)
+	b.AddArc(2, 3, 1)
+	b.AddArc(1, 2, 0.5)
+	return b.Build()
+}
+
+func TestBuilderCounts(t *testing.T) {
+	g := diamond()
+	if g.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumArcs() != 5 {
+		t.Errorf("NumArcs = %d, want 5", g.NumArcs())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(3) != 0 {
+		t.Errorf("OutDegree(0)=%d OutDegree(3)=%d, want 2 and 0",
+			g.OutDegree(0), g.OutDegree(3))
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	b := NewBuilder()
+	b.AddNode(geo.Point{})
+	assertPanics("out of range", func() { b.AddArc(0, 5, 1) })
+	assertPanics("negative cost", func() { b.AddArc(0, 0, -1) })
+}
+
+func TestShortestPathDiamond(t *testing.T) {
+	g := diamond()
+	d, ok := g.ShortestPath(0, 3)
+	if !ok || d != 2 {
+		t.Errorf("ShortestPath(0,3) = %v,%v, want 2,true", d, ok)
+	}
+	// 3 has no outgoing arcs: nothing reachable from it.
+	if _, ok := g.ShortestPath(3, 0); ok {
+		t.Error("path 3->0 should not exist")
+	}
+	if d, ok := g.ShortestPath(2, 2); !ok || d != 0 {
+		t.Errorf("self path = %v,%v, want 0,true", d, ok)
+	}
+	if _, ok := g.ShortestPath(-1, 2); ok {
+		t.Error("invalid src should be unreachable")
+	}
+}
+
+func TestShortestPathTree(t *testing.T) {
+	g := diamond()
+	tree := g.ShortestPathTree(0)
+	want := []float64{0, 1, 1.5, 2}
+	for i, w := range want {
+		if tree[i] != w {
+			t.Errorf("tree[%d] = %v, want %v", i, tree[i], w)
+		}
+	}
+	tree3 := g.ShortestPathTree(3)
+	for i := 0; i < 3; i++ {
+		if !math.IsInf(tree3[i], 1) {
+			t.Errorf("tree3[%d] = %v, want +Inf", i, tree3[i])
+		}
+	}
+}
+
+func TestRouteReconstruction(t *testing.T) {
+	g := diamond()
+	path, ok := g.Route(0, 3)
+	if !ok {
+		t.Fatal("no route 0->3")
+	}
+	want := []NodeID{0, 1, 3}
+	if len(path) != len(want) {
+		t.Fatalf("route = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("route = %v, want %v", path, want)
+		}
+	}
+	if p, ok := g.Route(2, 2); !ok || len(p) != 1 || p[0] != 2 {
+		t.Errorf("self route = %v,%v", p, ok)
+	}
+	if _, ok := g.Route(3, 0); ok {
+		t.Error("route 3->0 should not exist")
+	}
+}
+
+func TestRouteCostsMatchShortestPath(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 10, Cols: 10, Seed: 3})
+	for _, pair := range [][2]NodeID{{0, 99}, {5, 87}, {42, 13}} {
+		d, ok := g.ShortestPath(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("unreachable pair %v in generated grid", pair)
+		}
+		path, ok := g.Route(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("no route for reachable pair %v", pair)
+		}
+		// Sum the arc costs along the returned path.
+		total := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			best := math.Inf(1)
+			for _, e := range g.arcs(path[i]) {
+				if e.to == path[i+1] && e.cost < best {
+					best = e.cost
+				}
+			}
+			total += best
+		}
+		if math.Abs(total-d) > 1e-9 {
+			t.Errorf("route cost %v != shortest path %v", total, d)
+		}
+	}
+}
+
+func TestGeneratedGridConnected(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 20, Cols: 20, Seed: 11, DropFraction: 0.1})
+	tree := g.ShortestPathTree(0)
+	for i, d := range tree {
+		if math.IsInf(d, 1) {
+			t.Fatalf("node %d unreachable: generator broke connectivity", i)
+		}
+	}
+}
+
+func TestGeneratedGridDeterministic(t *testing.T) {
+	cfg := GridNetworkConfig{Rows: 8, Cols: 8, Seed: 42}
+	a := GenerateGridNetwork(cfg)
+	b := GenerateGridNetwork(cfg)
+	if a.NumNodes() != b.NumNodes() || a.NumArcs() != b.NumArcs() {
+		t.Fatal("same seed produced different graphs")
+	}
+	da := a.ShortestPathTree(0)
+	db := b.ShortestPathTree(0)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("same seed produced different costs")
+		}
+	}
+}
+
+func TestGeneratedGridTravelTimePlausible(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Seed: 1})
+	// Crossing the full NYC box (~60km of L1) at the ~11 m/s default
+	// speed should take roughly 90 minutes; sanity-check loosely.
+	d, ok := g.ShortestPath(0, NodeID(g.NumNodes()-1))
+	if !ok {
+		t.Fatal("corners unreachable")
+	}
+	if d < 3000 || d > 12000 {
+		t.Errorf("corner-to-corner travel = %.0f s, want 3000..12000", d)
+	}
+}
+
+func TestMedianStreetSpeed(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Seed: 5, SpeedMPS: 8, SpeedJitter: -1})
+	s := MedianStreetSpeed(g)
+	if math.Abs(s-8) > 0.2 {
+		t.Errorf("median speed %.2f, want ~8 (jitter disabled)", s)
+	}
+	if s := MedianStreetSpeed(NewBuilder().Build()); s != 0 {
+		t.Errorf("empty graph speed = %v, want 0", s)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"mrvd/internal/geo"
+	"mrvd/internal/roadnet"
+)
+
+// Context is the batch snapshot handed to a Dispatcher: the waiting
+// riders, available drivers, precomputed valid pairs, per-region counts,
+// and the demand-supply predictions for the scheduling window
+// [Now, Now+TC].
+type Context struct {
+	Now  float64
+	TC   float64 // scheduling window length t_c in seconds
+	Grid *geo.Grid
+	// Coster prices travel; dispatchers may use it for what-if costs,
+	// though every valid pair already carries its two legs.
+	Coster roadnet.Coster
+
+	// Riders are the batch's waiting riders; Drivers its available
+	// drivers. Dispatchers must treat both as read-only.
+	Riders  []*Rider
+	Drivers []*Driver
+
+	// Pairs are the valid dispatching pairs of Definition 3, grouped by
+	// rider (ascending R, then ascending PickupCost).
+	Pairs []Pair
+
+	// WaitingPerRegion[k] = |R_k| and AvailablePerRegion[k] = |D_k|.
+	WaitingPerRegion   []int
+	AvailablePerRegion []int
+	// PredictedRiders[k] = |^R_k|: predicted new riders in the window.
+	// PredictedDrivers[k] = |^D_k|: drivers scheduled to rejoin region k
+	// in the window (known exactly from active trips).
+	PredictedRiders  []int
+	PredictedDrivers []int
+
+	// RiderRegion and DriverRegion cache each rider's pickup region and
+	// driver's current region.
+	RiderRegion  []geo.RegionID
+	DriverRegion []geo.RegionID
+}
+
+// Dispatcher decides, for one batch, which valid pairs to serve
+// (Algorithm 1 line 7).
+type Dispatcher interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Assign returns a set of assignments. Each rider and each driver
+	// may appear at most once; every (R, D) must come from ctx.Pairs
+	// unless IgnorePickup is set.
+	Assign(ctx *Context) []Assignment
+}
+
+// PairsByRider returns the slice of ctx.Pairs for one rider index,
+// exploiting the rider-grouped ordering.
+func (ctx *Context) PairsByRider(r int32) []Pair {
+	// Binary search for the first pair with R >= r.
+	lo, hi := 0, len(ctx.Pairs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ctx.Pairs[mid].R < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	for hi = start; hi < len(ctx.Pairs) && ctx.Pairs[hi].R == r; hi++ {
+	}
+	return ctx.Pairs[start:hi]
+}
+
+// PairsByDriver collects the valid pairs involving one driver index.
+// O(|Pairs|); dispatchers needing repeated driver lookups should build
+// their own index once.
+func (ctx *Context) PairsByDriver(d int32) []Pair {
+	var out []Pair
+	for _, p := range ctx.Pairs {
+		if p.D == d {
+			out = append(out, p)
+		}
+	}
+	return out
+}

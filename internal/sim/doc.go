@@ -1,0 +1,14 @@
+// Package sim is the dynamic car-hailing simulator: it replays an order
+// trace against a fleet of drivers under the paper's batch-based
+// processing model (Algorithm 1). Every Delta seconds the engine collects
+// waiting riders and available drivers, precomputes the valid
+// rider-and-driver pairs of Definition 3 (driver can reach the pickup
+// before the rider's deadline), and hands a batch Context to a pluggable
+// Dispatcher. Committed assignments make drivers busy for the pickup leg
+// plus the trip; riders not picked before their deadline renege.
+//
+// The engine keeps a per-driver idle ledger (idle time between rejoining
+// the platform and the next assignment — the quantity Section 4's
+// queueing model estimates) and per-batch wall-clock timings, which feed
+// Tables 3 and Figures 7-10.
+package sim

@@ -1,0 +1,557 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/trace"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Grid partitions the city; nil defaults to the paper's 16x16 NYC grid.
+	Grid *geo.Grid
+	// Coster prices travel; nil defaults to roadnet.NewDefaultCoster().
+	Coster roadnet.Coster
+	// Delta is the batch interval in seconds (default 3, Table 2).
+	Delta float64
+	// TC is the scheduling window t_c in seconds (default 1200 = 20 min).
+	TC float64
+	// Horizon is the simulated span in seconds (default one day).
+	Horizon float64
+	// MaxCandidatesPerRider caps valid pairs per rider to the nearest
+	// feasible drivers (default 12). It bounds batch cost at scale.
+	MaxCandidatesPerRider int
+	// RadiusSpeedMPS converts a rider's remaining patience into the
+	// search radius for feasible drivers. It must upper-bound the real
+	// travel speed or feasible pairs are missed (default 12).
+	RadiusSpeedMPS float64
+	// PredictRiders returns |^R_k| per region for [now, now+tc]; nil
+	// predicts zeros everywhere.
+	PredictRiders func(now, tc float64) []int
+	// Shifts optionally bounds each driver's working period; when set it
+	// must be parallel to the driver starts. Empty means every driver
+	// works the whole horizon.
+	Shifts []Shift
+	// Repositioner optionally relocates long-idle drivers between
+	// batches; nil disables repositioning (drivers wait where they
+	// dropped off, the paper's base behaviour).
+	Repositioner Repositioner
+	// RepositionAfter is the idle time in seconds before a driver is
+	// offered to the Repositioner (default 300 when one is set).
+	RepositionAfter float64
+}
+
+// Repositioner proposes cruise targets for idle drivers. Returning
+// ok=false leaves the driver in place. The driver travels to the target
+// (unassignable while cruising) and its open idle-ledger entry keeps
+// running — repositioning is not service.
+type Repositioner interface {
+	Target(ctx *Context, driver *Driver, region geo.RegionID) (geo.Point, bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grid == nil {
+		c.Grid = geo.NewNYCGrid()
+	}
+	if c.Coster == nil {
+		c.Coster = roadnet.NewDefaultCoster()
+	}
+	if c.Delta <= 0 {
+		c.Delta = 3
+	}
+	if c.TC <= 0 {
+		c.TC = 1200
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 24 * 3600
+	}
+	if c.MaxCandidatesPerRider <= 0 {
+		c.MaxCandidatesPerRider = 12
+	}
+	if c.RadiusSpeedMPS <= 0 {
+		c.RadiusSpeedMPS = 12
+	}
+	return c
+}
+
+// IdleEstimating is an optional Dispatcher extension: dispatchers that
+// maintain a queueing model report their per-region idle-time estimate,
+// which the engine pairs with realized idle times in the ledger
+// (Table 3's data).
+type IdleEstimating interface {
+	EstimateIdle(ctx *Context, region geo.RegionID) float64
+}
+
+// completionHeap orders busy drivers by completion time.
+type completionHeap []completion
+
+type completion struct {
+	freeAt float64
+	driver DriverID
+}
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].freeAt < h[j].freeAt }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine runs one simulation. Build with New; Run executes once.
+type Engine struct {
+	cfg     Config
+	orders  []trace.Order
+	drivers []Driver
+
+	idx       *geo.Index // available drivers
+	busy      completionHeap
+	waiting   []*Rider
+	riders    []Rider
+	nextOrder int
+
+	// futureRejoin[k] holds sorted completion times of busy drivers whose
+	// destination is region k; pruned as time advances.
+	futureRejoin [][]float64
+
+	// openIdle maps a rejoined driver to its pending ledger entry.
+	openIdle map[DriverID]int
+
+	// shifts is parallel to drivers when configured.
+	shifts []Shift
+
+	metrics Metrics
+	ran     bool
+}
+
+// New builds a fresh engine over a trace and initial driver positions.
+// Orders are copied and sorted by post time.
+func New(cfg Config, orders []trace.Order, driverStarts []geo.Point) *Engine {
+	cfg = cfg.withDefaults()
+	os := append([]trace.Order(nil), orders...)
+	trace.SortByPostTime(os)
+	e := &Engine{
+		cfg:          cfg,
+		orders:       os,
+		idx:          geo.NewIndex(cfg.Grid),
+		futureRejoin: make([][]float64, cfg.Grid.NumRegions()),
+		openIdle:     make(map[DriverID]int),
+	}
+	if len(cfg.Shifts) > 0 {
+		if len(cfg.Shifts) != len(driverStarts) {
+			panic(fmt.Sprintf("sim: %d shifts for %d drivers", len(cfg.Shifts), len(driverStarts)))
+		}
+		e.shifts = cfg.Shifts
+	}
+	e.riders = make([]Rider, len(os))
+	for i, o := range os {
+		// Structurally broken orders (non-finite coordinates, deadlines
+		// before posting) would corrupt region indexing deep inside the
+		// batch loop; reject them at the door. Callers replaying external
+		// traces should pre-validate with trace.Order.Valid.
+		if err := o.Valid(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		e.riders[i] = Rider{
+			Order:      o,
+			Status:     WaitingStatus,
+			TripCost:   cfg.Coster.Cost(o.Pickup, o.Dropoff),
+			DestRegion: cfg.Grid.Region(cfg.Grid.Bounds().Clamp(o.Dropoff)),
+		}
+	}
+	e.drivers = make([]Driver, len(driverStarts))
+	for i, p := range driverStarts {
+		e.drivers[i] = Driver{ID: DriverID(i), State: Available, Pos: cfg.Grid.Bounds().Clamp(p), FreeAt: 0}
+		if e.shifts != nil && e.shifts[i].JoinAt > 0 {
+			e.drivers[i].State = Offline
+			continue
+		}
+		e.idx.Insert(int32(i), p)
+	}
+	e.metrics.TotalOrders = len(os)
+	return e
+}
+
+// Run executes the batch loop with the given dispatcher and returns the
+// collected metrics. An engine is single-use.
+func (e *Engine) Run(d Dispatcher) (*Metrics, error) {
+	if e.ran {
+		return nil, errors.New("sim: engine already ran; build a new one")
+	}
+	e.ran = true
+	estimator, _ := d.(IdleEstimating)
+
+	// The starting fleet's idle-before-first-rider (the paper's psi_0j)
+	// is part of the ledger too.
+	for i := range e.drivers {
+		if e.drivers[i].State != Available {
+			continue
+		}
+		region, _ := e.idx.RegionOf(int32(i))
+		e.metrics.IdleRecords = append(e.metrics.IdleRecords, IdleRecord{
+			Driver:   DriverID(i),
+			Region:   region,
+			RejoinAt: 0,
+			Estimate: math.NaN(),
+			Realized: math.NaN(),
+		})
+		e.openIdle[DriverID(i)] = len(e.metrics.IdleRecords) - 1
+	}
+
+	for now := 0.0; now < e.cfg.Horizon; now += e.cfg.Delta {
+		e.admitOrders(now)
+		e.rejoinDrivers(now)
+		e.processShifts(now)
+		e.renegeExpired(now)
+
+		ctx := e.buildContext(now)
+		// Capture idle estimates for drivers that rejoined since the
+		// last batch (their ledger entries are still estimate-free).
+		if estimator != nil {
+			for id, rec := range e.openIdle {
+				if math.IsNaN(e.metrics.IdleRecords[rec].Estimate) {
+					region, _ := e.idx.RegionOf(int32(id))
+					e.metrics.IdleRecords[rec].Estimate = estimator.EstimateIdle(ctx, region)
+				}
+			}
+		}
+
+		start := time.Now()
+		assignments := d.Assign(ctx)
+		e.metrics.BatchSeconds = append(e.metrics.BatchSeconds, time.Since(start).Seconds())
+		e.metrics.Batches++
+
+		if err := e.apply(now, ctx, assignments); err != nil {
+			return nil, err
+		}
+		e.reposition(now, ctx)
+	}
+	// Censor ledger entries that never closed.
+	e.closeLedger()
+	return &e.metrics, nil
+}
+
+// admitOrders moves trace orders posted by now into the waiting set.
+func (e *Engine) admitOrders(now float64) {
+	for e.nextOrder < len(e.orders) && e.orders[e.nextOrder].PostTime <= now {
+		e.waiting = append(e.waiting, &e.riders[e.nextOrder])
+		e.nextOrder++
+	}
+}
+
+// rejoinDrivers makes busy drivers whose trips completed available,
+// opening their idle-ledger entries.
+func (e *Engine) rejoinDrivers(now float64) {
+	for len(e.busy) > 0 && e.busy[0].freeAt <= now {
+		c := heap.Pop(&e.busy).(completion)
+		drv := &e.drivers[c.driver]
+		if e.shifts != nil {
+			if la := e.shifts[c.driver].LeaveAt; la > 0 && c.freeAt >= la {
+				drv.State = Offline
+				continue
+			}
+		}
+		drv.State = Available
+		e.idx.Insert(int32(c.driver), drv.Pos)
+		region, _ := e.idx.RegionOf(int32(c.driver))
+		e.metrics.IdleRecords = append(e.metrics.IdleRecords, IdleRecord{
+			Driver:   c.driver,
+			Region:   region,
+			RejoinAt: c.freeAt,
+			Estimate: math.NaN(),
+			Realized: math.NaN(),
+		})
+		e.openIdle[c.driver] = len(e.metrics.IdleRecords) - 1
+	}
+}
+
+// renegeExpired drops waiting riders whose deadline has passed: no
+// assignment made at or after now can reach them in time.
+func (e *Engine) renegeExpired(now float64) {
+	kept := e.waiting[:0]
+	for _, r := range e.waiting {
+		if r.Order.Deadline < now {
+			r.Status = RenegedStatus
+			e.metrics.Reneged++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.waiting = kept
+}
+
+// buildContext snapshots the batch state and precomputes valid pairs.
+func (e *Engine) buildContext(now float64) *Context {
+	grid := e.cfg.Grid
+	n := grid.NumRegions()
+	ctx := &Context{
+		Now:                now,
+		TC:                 e.cfg.TC,
+		Grid:               grid,
+		Coster:             e.cfg.Coster,
+		WaitingPerRegion:   make([]int, n),
+		AvailablePerRegion: make([]int, n),
+		PredictedDrivers:   e.countFutureRejoins(now),
+	}
+	if e.cfg.PredictRiders != nil {
+		ctx.PredictedRiders = e.cfg.PredictRiders(now, e.cfg.TC)
+	} else {
+		ctx.PredictedRiders = make([]int, n)
+	}
+
+	// Available drivers, in id order for determinism.
+	driverSlot := make(map[int32]int32)
+	for id := range e.drivers {
+		if e.drivers[id].State == Available {
+			d := &e.drivers[id]
+			driverSlot[int32(id)] = int32(len(ctx.Drivers))
+			ctx.Drivers = append(ctx.Drivers, d)
+			region, _ := e.idx.RegionOf(int32(id))
+			ctx.DriverRegion = append(ctx.DriverRegion, region)
+			ctx.AvailablePerRegion[region]++
+		}
+	}
+
+	// Waiting riders and their valid pairs.
+	for _, r := range e.waiting {
+		ri := int32(len(ctx.Riders))
+		ctx.Riders = append(ctx.Riders, r)
+		pickupRegion := grid.Region(grid.Bounds().Clamp(r.Order.Pickup))
+		ctx.RiderRegion = append(ctx.RiderRegion, pickupRegion)
+		ctx.WaitingPerRegion[pickupRegion]++
+
+		slack := r.Order.Deadline - now
+		radius := slack * e.cfg.RadiusSpeedMPS
+		neighbors := e.idx.Within(r.Order.Pickup, radius)
+		found := 0
+		for _, nb := range neighbors {
+			if found >= e.cfg.MaxCandidatesPerRider {
+				break
+			}
+			drv := &e.drivers[nb.ID]
+			pc := e.cfg.Coster.Cost(drv.Pos, r.Order.Pickup)
+			if now+pc > r.Order.Deadline {
+				continue
+			}
+			ctx.Pairs = append(ctx.Pairs, Pair{
+				R:          ri,
+				D:          driverSlot[nb.ID],
+				PickupCost: pc,
+				TripCost:   r.TripCost,
+				DestRegion: r.DestRegion,
+			})
+			found++
+		}
+	}
+	// Pairs are naturally grouped by rider; sort each rider's group by
+	// pickup cost (Within already yields distance order, but the coster
+	// may disagree with straight-line distance).
+	sort.SliceStable(ctx.Pairs, func(i, j int) bool {
+		if ctx.Pairs[i].R != ctx.Pairs[j].R {
+			return ctx.Pairs[i].R < ctx.Pairs[j].R
+		}
+		return ctx.Pairs[i].PickupCost < ctx.Pairs[j].PickupCost
+	})
+	return ctx
+}
+
+// countFutureRejoins returns, per region, how many busy drivers will
+// complete there within (now, now+tc].
+func (e *Engine) countFutureRejoins(now float64) []int {
+	out := make([]int, len(e.futureRejoin))
+	for k, times := range e.futureRejoin {
+		// Prune completions already in the past.
+		i := sort.SearchFloat64s(times, now)
+		if i > 0 {
+			times = times[i:]
+			e.futureRejoin[k] = times
+		}
+		out[k] = sort.SearchFloat64s(times, now+e.cfg.TC)
+	}
+	return out
+}
+
+// apply validates and commits a batch's assignments.
+func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) error {
+	usedR := make(map[int32]bool, len(assignments))
+	usedD := make(map[int32]bool, len(assignments))
+	for _, a := range assignments {
+		if a.R < 0 || int(a.R) >= len(ctx.Riders) || a.D < 0 || int(a.D) >= len(ctx.Drivers) {
+			return fmt.Errorf("sim: assignment (%d,%d) out of range", a.R, a.D)
+		}
+		if usedR[a.R] {
+			return fmt.Errorf("sim: rider %d assigned twice", a.R)
+		}
+		if usedD[a.D] {
+			return fmt.Errorf("sim: driver %d assigned twice", a.D)
+		}
+		usedR[a.R] = true
+		usedD[a.D] = true
+
+		rider := ctx.Riders[a.R]
+		drv := ctx.Drivers[a.D]
+		if rider.Status != WaitingStatus {
+			return fmt.Errorf("sim: rider %d not waiting", rider.Order.ID)
+		}
+		if drv.State != Available {
+			return fmt.Errorf("sim: driver %d not available", drv.ID)
+		}
+
+		pickupCost := 0.0
+		if !a.IgnorePickup {
+			pickupCost = e.cfg.Coster.Cost(drv.Pos, rider.Order.Pickup)
+			if now+pickupCost > rider.Order.Deadline {
+				return fmt.Errorf("sim: driver %d cannot reach rider %d before deadline (%.1f > %.1f)",
+					drv.ID, rider.Order.ID, now+pickupCost, rider.Order.Deadline)
+			}
+		}
+		trip := rider.TripCost
+
+		// Close the driver's idle ledger entry.
+		if rec, ok := e.openIdle[drv.ID]; ok {
+			e.metrics.IdleRecords[rec].Realized = now - e.drivers[drv.ID].FreeAt
+			delete(e.openIdle, drv.ID)
+		}
+
+		// Commit.
+		rider.Status = AssignedStatus
+		rider.Driver = drv.ID
+		rider.PickedAt = now + pickupCost
+		freeAt := now + pickupCost + trip
+		d := &e.drivers[drv.ID]
+		d.State = Busy
+		d.Pos = rider.Order.Dropoff
+		d.FreeAt = freeAt
+		d.Served++
+		e.idx.Remove(int32(drv.ID))
+		heap.Push(&e.busy, completion{freeAt: freeAt, driver: drv.ID})
+
+		e.insertFutureRejoin(rider.DestRegion, freeAt)
+
+		e.metrics.Revenue += trip
+		e.metrics.PickupSeconds += pickupCost
+		e.metrics.Served++
+
+		// Remove the rider from the waiting set.
+		for i, w := range e.waiting {
+			if w == rider {
+				e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) insertFutureRejoin(region geo.RegionID, at float64) {
+	times := e.futureRejoin[region]
+	i := sort.SearchFloat64s(times, at)
+	times = append(times, 0)
+	copy(times[i+1:], times[i:])
+	times[i] = at
+	e.futureRejoin[region] = times
+}
+
+// closeLedger discards idle records that never closed (drivers still
+// waiting at the horizon) and any that never got an estimate.
+func (e *Engine) closeLedger() {
+	kept := e.metrics.IdleRecords[:0]
+	for _, rec := range e.metrics.IdleRecords {
+		if !math.IsNaN(rec.Realized) {
+			kept = append(kept, rec)
+		}
+	}
+	e.metrics.IdleRecords = kept
+}
+
+// Drivers exposes final driver states for post-run inspection.
+func (e *Engine) Drivers() []Driver { return e.drivers }
+
+// Riders exposes final rider states for post-run inspection.
+func (e *Engine) Riders() []Rider { return e.riders }
+
+// processShifts joins drivers whose shift has started and retires
+// available drivers whose shift has ended. Busy drivers finish their
+// current trip first (handled in rejoinDrivers).
+func (e *Engine) processShifts(now float64) {
+	if e.shifts == nil {
+		return
+	}
+	for i := range e.drivers {
+		d := &e.drivers[i]
+		sh := e.shifts[i]
+		switch d.State {
+		case Offline:
+			// Join once the shift opens, unless it has already closed.
+			if sh.JoinAt <= now && d.Served == 0 && d.FreeAt == 0 &&
+				(sh.LeaveAt == 0 || now < sh.LeaveAt) {
+				d.State = Available
+				d.FreeAt = now
+				e.idx.Insert(int32(i), d.Pos)
+				region, _ := e.idx.RegionOf(int32(i))
+				e.metrics.IdleRecords = append(e.metrics.IdleRecords, IdleRecord{
+					Driver:   DriverID(i),
+					Region:   region,
+					RejoinAt: now,
+					Estimate: math.NaN(),
+					Realized: math.NaN(),
+				})
+				e.openIdle[DriverID(i)] = len(e.metrics.IdleRecords) - 1
+			}
+		case Available:
+			if sh.LeaveAt > 0 && now >= sh.LeaveAt {
+				d.State = Offline
+				e.idx.Remove(int32(i))
+				delete(e.openIdle, DriverID(i)) // censored idle entry
+			}
+		}
+	}
+}
+
+// reposition offers long-idle available drivers to the configured
+// Repositioner and commits the proposed cruises.
+func (e *Engine) reposition(now float64, ctx *Context) {
+	if e.cfg.Repositioner == nil {
+		return
+	}
+	after := e.cfg.RepositionAfter
+	if after <= 0 {
+		after = 300
+	}
+	for i := range e.drivers {
+		d := &e.drivers[i]
+		if d.State != Available || now-d.FreeAt < after {
+			continue
+		}
+		region, _ := e.idx.RegionOf(int32(i))
+		target, ok := e.cfg.Repositioner.Target(ctx, d, region)
+		if !ok {
+			continue
+		}
+		target = e.cfg.Grid.Bounds().Clamp(target)
+		cost := e.cfg.Coster.Cost(d.Pos, target)
+		if cost <= 0 || math.IsInf(cost, 1) {
+			continue
+		}
+		// The cruise censors the driver's running idle entry; arrival
+		// opens a fresh one through the normal rejoin path.
+		delete(e.openIdle, DriverID(i))
+		d.State = Busy
+		d.Pos = target
+		d.FreeAt = now + cost
+		e.idx.Remove(int32(i))
+		heap.Push(&e.busy, completion{freeAt: d.FreeAt, driver: DriverID(i)})
+		e.insertFutureRejoin(e.cfg.Grid.Region(target), d.FreeAt)
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/trace"
+)
+
+func TestShiftDriverJoinsLate(t *testing.T) {
+	pickup := center()
+	orders := []trace.Order{
+		// Posted before the driver's shift: must renege.
+		{ID: 0, PostTime: 10, Pickup: pickup, Dropoff: offset(pickup, 800), Deadline: 130},
+		// Posted after the shift opens: served.
+		{ID: 1, PostTime: 700, Pickup: pickup, Dropoff: offset(pickup, 800), Deadline: 820},
+	}
+	cfg := simpleConfig()
+	cfg.Shifts = []Shift{{JoinAt: 600}}
+	e := New(cfg, orders, []geo.Point{pickup})
+	m, err := e.Run(takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served != 1 || m.Reneged != 1 {
+		t.Fatalf("served=%d reneged=%d, want 1/1", m.Served, m.Reneged)
+	}
+	// The late joiner's idle ledger starts at its join, not t=0.
+	for _, rec := range m.IdleRecords {
+		if rec.RejoinAt < 600 {
+			t.Errorf("ledger entry before the shift opened: %+v", rec)
+		}
+	}
+}
+
+func TestShiftDriverLeaves(t *testing.T) {
+	pickup := center()
+	orders := []trace.Order{
+		{ID: 0, PostTime: 1000, Pickup: pickup, Dropoff: offset(pickup, 800), Deadline: 1120},
+	}
+	cfg := simpleConfig()
+	cfg.Shifts = []Shift{{LeaveAt: 500}}
+	e := New(cfg, orders, []geo.Point{pickup})
+	m, err := e.Run(takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served != 0 || m.Reneged != 1 {
+		t.Fatalf("served=%d reneged=%d, want 0/1 (driver left at 500)", m.Served, m.Reneged)
+	}
+	if e.Drivers()[0].State != Offline {
+		t.Errorf("driver state = %v, want Offline", e.Drivers()[0].State)
+	}
+}
+
+func TestShiftBusyDriverFinishesTripThenLeaves(t *testing.T) {
+	pickup := center()
+	drop := offset(pickup, 3000) // trip ~270s at 11 m/s
+	orders := []trace.Order{
+		{ID: 0, PostTime: 5, Pickup: pickup, Dropoff: drop, Deadline: 125},
+		// Posted right after the first trip ends but past the shift:
+		// the driver must not take it.
+		{ID: 1, PostTime: 400, Pickup: drop, Dropoff: offset(drop, 500), Deadline: 520},
+	}
+	cfg := simpleConfig()
+	cfg.Shifts = []Shift{{LeaveAt: 200}}
+	e := New(cfg, orders, []geo.Point{pickup})
+	m, err := e.Run(takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served != 1 {
+		t.Fatalf("served=%d, want 1 (trip in progress finishes)", m.Served)
+	}
+	if m.Reneged != 1 {
+		t.Errorf("reneged=%d, want 1 (driver off shift)", m.Reneged)
+	}
+}
+
+func TestShiftsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched shifts accepted")
+		}
+	}()
+	cfg := simpleConfig()
+	cfg.Shifts = []Shift{{}, {}}
+	New(cfg, nil, []geo.Point{center()})
+}
+
+// sendEast repositions any idle driver 2km east, once.
+type sendEast struct{ moved int }
+
+func (s *sendEast) Target(ctx *Context, d *Driver, region geo.RegionID) (geo.Point, bool) {
+	if s.moved > 0 {
+		return geo.Point{}, false
+	}
+	s.moved++
+	return offset(d.Pos, 2000), true
+}
+
+func TestRepositionMovesIdleDriver(t *testing.T) {
+	pickup := center()
+	cfg := simpleConfig()
+	policy := &sendEast{}
+	cfg.Repositioner = policy
+	cfg.RepositionAfter = 60
+	e := New(cfg, nil, []geo.Point{pickup})
+	if _, err := e.Run(noop{}); err != nil {
+		t.Fatal(err)
+	}
+	if policy.moved != 1 {
+		t.Fatalf("policy consulted %d times, want 1", policy.moved)
+	}
+	drv := e.Drivers()[0]
+	if got := geo.Equirect(drv.Pos, offset(pickup, 2000)); got > 1 {
+		t.Errorf("driver %fm from reposition target", got)
+	}
+	if drv.State != Available {
+		t.Errorf("driver state %v after cruise, want Available", drv.State)
+	}
+	if drv.Served != 0 {
+		t.Error("cruise counted as service")
+	}
+}
+
+func TestRepositionedDriverServesAtTarget(t *testing.T) {
+	pickup := center()
+	target := offset(pickup, 2000)
+	orders := []trace.Order{
+		// Near the reposition target, posted after the cruise completes;
+		// too far from the origin for a driver that stayed put
+		// (patience 60s reaches ~660m at 11 m/s).
+		{ID: 0, PostTime: 600, Pickup: target, Dropoff: offset(target, 900), Deadline: 660},
+	}
+	run := func(repo Repositioner) *Metrics {
+		cfg := simpleConfig()
+		cfg.Repositioner = repo
+		cfg.RepositionAfter = 60
+		m, err := New(cfg, orders, []geo.Point{pickup}).Run(takeAll{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	without := run(nil)
+	with := run(&sendEast{})
+	if without.Served != 0 {
+		t.Fatalf("stationary driver served %d, want 0", without.Served)
+	}
+	if with.Served != 1 {
+		t.Fatalf("repositioned driver served %d, want 1", with.Served)
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"mrvd/internal/geo"
+	"mrvd/internal/trace"
+)
+
+// DriverID indexes a driver in the fleet.
+type DriverID int32
+
+// DriverState is a driver's lifecycle phase.
+type DriverState uint8
+
+// Driver states: available (free to assign), busy (picking up or
+// delivering a rider, or cruising to a reposition target), or offline
+// (outside the driver's shift).
+const (
+	Available DriverState = iota
+	Busy
+	Offline
+)
+
+// Shift bounds a driver's working period — the paper's driver lifetime
+// T_j from joining to exiting the platform. The zero value means the
+// whole simulation horizon.
+type Shift struct {
+	JoinAt  float64
+	LeaveAt float64 // 0 means never
+}
+
+// Driver is one vehicle in the simulation.
+type Driver struct {
+	ID    DriverID
+	State DriverState
+	// Pos is the driver's location when available; while busy it is the
+	// destination they will occupy on completion.
+	Pos geo.Point
+	// FreeAt is when a busy driver completes its current trip. For an
+	// available driver it is the time it last became available (its
+	// rejoin time), which anchors the idle ledger.
+	FreeAt float64
+	// Served counts completed orders.
+	Served int
+}
+
+// RiderStatus is a rider's lifecycle phase.
+type RiderStatus uint8
+
+// Rider statuses.
+const (
+	WaitingStatus RiderStatus = iota
+	AssignedStatus
+	RenegedStatus
+)
+
+// Rider wraps an order with its runtime status and per-order constants
+// the engine precomputes (trip cost and destination region).
+type Rider struct {
+	Order  trace.Order
+	Status RiderStatus
+	// TripCost is cost(s_i, e_i) in seconds under the run's coster — the
+	// order's revenue at alpha = 1.
+	TripCost float64
+	// DestRegion is the region of the dropoff point.
+	DestRegion geo.RegionID
+	// PickedAt is when the assigned driver reaches the pickup point.
+	PickedAt float64
+	// Driver is the assigned driver, valid when Status == AssignedStatus.
+	Driver DriverID
+}
+
+// Pair is one valid rider-and-driver dispatching pair of Definition 3,
+// precomputed per batch. R and D index Context.Riders and
+// Context.Drivers.
+type Pair struct {
+	R, D       int32
+	PickupCost float64 // seconds for the driver to reach the pickup
+	TripCost   float64 // seconds from pickup to dropoff: the pair's revenue at alpha=1
+	DestRegion geo.RegionID
+}
+
+// Assignment is a dispatcher's decision: serve rider R with driver D
+// (indices into the batch Context). IgnorePickup is reserved for the
+// UPPER bound pseudo-dispatcher, which the paper defines as serving the
+// most expensive orders while ignoring pickup distances.
+type Assignment struct {
+	R, D         int32
+	IgnorePickup bool
+}
+
+// IdleRecord pairs the model-estimated idle time at a driver's rejoin
+// with the idle time that actually elapsed before its next assignment —
+// one observation of Table 3.
+type IdleRecord struct {
+	Driver   DriverID
+	Region   geo.RegionID
+	RejoinAt float64
+	Estimate float64 // queueing-model estimate captured at rejoin; NaN when no estimator installed
+	Realized float64
+}
+
+// Metrics aggregates one simulation run.
+type Metrics struct {
+	// Revenue is the platform total: alpha * sum of served trip costs
+	// (alpha = 1, Section 6.3, so revenue equals total serving seconds).
+	Revenue float64
+	// Served and Reneged count terminal rider outcomes.
+	Served  int
+	Reneged int
+	// TotalOrders is the trace size.
+	TotalOrders int
+	// Batches is how many batch rounds ran.
+	Batches int
+	// BatchSeconds aggregates wall-clock dispatcher time per batch.
+	BatchSeconds []float64
+	// IdleRecords is the per-rejoin idle ledger (estimate vs realized).
+	IdleRecords []IdleRecord
+	// PickupSeconds sums driver travel to pickups (deadhead time).
+	PickupSeconds float64
+}
+
+// AvgBatchSeconds returns the mean dispatcher wall time per batch.
+func (m *Metrics) AvgBatchSeconds() float64 {
+	if len(m.BatchSeconds) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, b := range m.BatchSeconds {
+		s += b
+	}
+	return s / float64(len(m.BatchSeconds))
+}
+
+// MaxBatchSeconds returns the worst-case dispatcher wall time.
+func (m *Metrics) MaxBatchSeconds() float64 {
+	max := 0.0
+	for _, b := range m.BatchSeconds {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// ServiceRate returns the fraction of orders served.
+func (m *Metrics) ServiceRate() float64 {
+	if m.TotalOrders == 0 {
+		return 0
+	}
+	return float64(m.Served) / float64(m.TotalOrders)
+}

@@ -1,0 +1,9 @@
+// Package stats provides the statistical substrate for the MRVD
+// reproduction: deterministic random sampling (Poisson, exponential,
+// categorical), goodness-of-fit testing (Pearson chi-square, as used in
+// Appendix B of the paper to validate the Poisson arrival assumption),
+// and the error metrics the paper reports (MAE, relative RMSE, real RMSE).
+//
+// All samplers take an explicit *rand.Rand so that every simulation and
+// experiment in this repository is reproducible from a single seed.
+package stats

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(12.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestRelativeRMSEPerfect(t *testing.T) {
+	got, err := RelativeRMSE([]float64{5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("RelativeRMSE of perfect prediction = %v, want 0", got)
+	}
+}
+
+func TestMetricErrors(t *testing.T) {
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := RelativeRMSE([]float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Error("want error for zero truth norm")
+	}
+}
+
+func TestMAEAlwaysNonNegative(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		m, err := MAE(a[:n], b[:n])
+		return err == nil && (m >= 0 || math.IsNaN(m))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMSEAtLeastMAE(t *testing.T) {
+	// RMSE >= MAE by the power-mean inequality.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+			b[i] = rng.NormFloat64() * 10
+		}
+		mae, _ := MAE(a, b)
+		rmse, _ := RMSE(a, b)
+		if rmse < mae-1e-9 {
+			t.Fatalf("RMSE %v < MAE %v", rmse, mae)
+		}
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	wantVar := 32.0 / 7.0
+	if math.Abs(s.Var()-wantVar) > 1e-12 {
+		t.Errorf("Var = %v, want %v", s.Var(), wantVar)
+	}
+	if math.Abs(s.Sum()-40) > 1e-12 {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+}
+
+func TestSummaryMergeEquivalentToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all, left, right Summary
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		all.Add(x)
+		if i < 400 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(right)
+	if left.Count() != all.Count() {
+		t.Fatalf("count %d vs %d", left.Count(), all.Count())
+	}
+	if math.Abs(left.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("mean %v vs %v", left.Mean(), all.Mean())
+	}
+	if math.Abs(left.Var()-all.Var()) > 1e-9 {
+		t.Errorf("var %v vs %v", left.Var(), all.Var())
+	}
+	if left.Min() != all.Min() || left.Max() != all.Max() {
+		t.Error("min/max mismatch after merge")
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging empty changed summary")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 3 {
+		t.Error("merge into empty failed")
+	}
+}

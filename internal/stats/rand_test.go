@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonZeroAndNegativeLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Poisson(rng, 0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := Poisson(rng, -3); got != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", got)
+	}
+	if got := Poisson(rng, math.NaN()); got != 0 {
+		t.Errorf("Poisson(NaN) = %d, want 0", got)
+	}
+}
+
+func TestPoissonMeanSmallLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const lambda = 4.5
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += Poisson(rng, lambda)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-lambda) > 0.05 {
+		t.Errorf("sample mean %.4f too far from lambda %.1f", mean, lambda)
+	}
+}
+
+func TestPoissonMeanLargeLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const lambda = 250.0
+	const n = 50000
+	sum := 0
+	sumSq := 0.0
+	for i := 0; i < n; i++ {
+		k := Poisson(rng, lambda)
+		sum += k
+		sumSq += float64(k) * float64(k)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-lambda)/lambda > 0.01 {
+		t.Errorf("PTRS sample mean %.2f too far from lambda %.1f", mean, lambda)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-lambda)/lambda > 0.05 {
+		t.Errorf("PTRS sample variance %.2f too far from lambda %.1f", variance, lambda)
+	}
+}
+
+func TestPoissonNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(lam float64) bool {
+		lam = math.Mod(math.Abs(lam), 500)
+		return Poisson(rng, lam) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const rate = 2.5
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, rate)
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("exponential mean %.4f, want %.4f", mean, want)
+	}
+}
+
+func TestExponentialZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if got := Exponential(rng, 0); !math.IsInf(got, 1) {
+		t.Errorf("Exponential(rate=0) = %v, want +Inf", got)
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Categorical(rng, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.15 {
+		t.Errorf("weight ratio %.3f, want ~3", ratio)
+	}
+}
+
+func TestCategoricalAllZeroWeightsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	weights := []float64{0, 0, 0, 0}
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[Categorical(rng, weights)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("category %d drawn %d times; want near-uniform 10000", i, c)
+		}
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 10000; i++ {
+		x := TruncNormal(rng, 10, 5, 8, 12)
+		if x < 8 || x > 12 {
+			t.Fatalf("TruncNormal out of bounds: %v", x)
+		}
+	}
+}
+
+func TestTruncNormalSwappedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x := TruncNormal(rng, 0, 1, 5, -5)
+	if x < -5 || x > 5 {
+		t.Errorf("swapped bounds not handled: %v", x)
+	}
+}
+
+func TestTruncNormalDegenerateClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	// Mean far outside a narrow band: rejection will fail, must clamp.
+	x := TruncNormal(rng, 1000, 0.001, 0, 1)
+	if x != 1 {
+		t.Errorf("degenerate TruncNormal = %v, want clamp to 1", x)
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 20, 100} {
+		sum := 0.0
+		for k := 0; k < int(lambda)+200; k++ {
+			sum += PoissonPMF(lambda, k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("PMF(lambda=%v) sums to %v", lambda, sum)
+		}
+	}
+}
+
+func TestPoissonPMFEdgeCases(t *testing.T) {
+	if got := PoissonPMF(0, 0); got != 1 {
+		t.Errorf("PMF(0,0) = %v, want 1", got)
+	}
+	if got := PoissonPMF(0, 3); got != 0 {
+		t.Errorf("PMF(0,3) = %v, want 0", got)
+	}
+	if got := PoissonPMF(5, -1); got != 0 {
+		t.Errorf("PMF(5,-1) = %v, want 0", got)
+	}
+}
+
+func TestPoissonCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for k := -1; k < 60; k++ {
+		c := PoissonCDF(12, k)
+		if c < prev {
+			t.Fatalf("CDF not monotone at k=%d: %v < %v", k, c, prev)
+		}
+		prev = c
+	}
+	if prev < 0.999999 {
+		t.Errorf("CDF(12, 59) = %v, want ~1", prev)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 1000; i++ {
+		if x := LogNormal(rng, 0, 1); x <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", x)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the on-disk column layout. It deliberately mirrors the
+// subset of TLC trip-record fields the paper uses, renamed to this
+// library's vocabulary.
+var csvHeader = []string{
+	"order_id", "post_time_s", "pickup_lng", "pickup_lat",
+	"dropoff_lng", "dropoff_lat", "deadline_s",
+}
+
+// WriteCSV serializes orders, header first.
+func WriteCSV(w io.Writer, orders []Order) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	rec := make([]string, len(csvHeader))
+	for _, o := range orders {
+		rec[0] = strconv.FormatInt(int64(o.ID), 10)
+		rec[1] = strconv.FormatFloat(o.PostTime, 'f', 3, 64)
+		rec[2] = strconv.FormatFloat(o.Pickup.Lng, 'f', 6, 64)
+		rec[3] = strconv.FormatFloat(o.Pickup.Lat, 'f', 6, 64)
+		rec[4] = strconv.FormatFloat(o.Dropoff.Lng, 'f', 6, 64)
+		rec[5] = strconv.FormatFloat(o.Dropoff.Lat, 'f', 6, 64)
+		rec[6] = strconv.FormatFloat(o.Deadline, 'f', 3, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write order %d: %w", o.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Structural problems (bad
+// field counts, unparsable numbers, invalid orders) abort with an error
+// naming the offending line.
+func ReadCSV(r io.Reader) ([]Order, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var orders []Order
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		o, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if err := o.Valid(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		orders = append(orders, o)
+	}
+	return orders, nil
+}
+
+func parseRecord(rec []string) (Order, error) {
+	var o Order
+	id, err := strconv.ParseInt(rec[0], 10, 32)
+	if err != nil {
+		return o, fmt.Errorf("order_id %q: %w", rec[0], err)
+	}
+	o.ID = OrderID(id)
+	fields := []struct {
+		name string
+		dst  *float64
+	}{
+		{"post_time_s", &o.PostTime},
+		{"pickup_lng", &o.Pickup.Lng},
+		{"pickup_lat", &o.Pickup.Lat},
+		{"dropoff_lng", &o.Dropoff.Lng},
+		{"dropoff_lat", &o.Dropoff.Lat},
+		{"deadline_s", &o.Deadline},
+	}
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(rec[i+1], 64)
+		if err != nil {
+			return o, fmt.Errorf("%s %q: %w", f.name, rec[i+1], err)
+		}
+		*f.dst = v
+	}
+	return o, nil
+}

@@ -1,0 +1,7 @@
+// Package trace defines the ride-order record format and its CSV
+// serialization. It is the stand-in for the NYC TLC yellow-taxi trip dump
+// the paper's experiments consume: the schema mirrors the TLC fields the
+// paper actually uses (pickup/dropoff timestamps and coordinates), so a
+// real TLC extract converted to this CSV can be dropped into any
+// experiment unchanged.
+package trace

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrvd/internal/geo"
+)
+
+// OrderID identifies one ride request.
+type OrderID int32
+
+// Order is one ride request: the paper's impatient rider r_i with posting
+// time t_i, source s_i, destination e_i, and pickup deadline tau_i.
+// Times are seconds from the start of the simulated day.
+type Order struct {
+	ID       OrderID
+	PostTime float64   // t_i: when the request reaches the platform
+	Pickup   geo.Point // s_i
+	Dropoff  geo.Point // e_i
+	Deadline float64   // tau_i: absolute latest pickup time; after this the rider reneges
+}
+
+// Valid performs structural sanity checks on a single order.
+func (o Order) Valid() error {
+	if o.PostTime < 0 {
+		return fmt.Errorf("trace: order %d has negative post time %v", o.ID, o.PostTime)
+	}
+	if o.Deadline < o.PostTime {
+		return fmt.Errorf("trace: order %d deadline %v precedes post time %v",
+			o.ID, o.Deadline, o.PostTime)
+	}
+	for _, v := range []float64{o.Pickup.Lng, o.Pickup.Lat, o.Dropoff.Lng, o.Dropoff.Lat} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: order %d has non-finite coordinate %v", o.ID, v)
+		}
+	}
+	return nil
+}
+
+// Patience returns how long the rider is willing to wait for pickup.
+func (o Order) Patience() float64 { return o.Deadline - o.PostTime }
+
+// SortByPostTime sorts orders in place by posting time, breaking ties by
+// id so replay order is deterministic.
+func SortByPostTime(orders []Order) {
+	sort.Slice(orders, func(i, j int) bool {
+		if orders[i].PostTime != orders[j].PostTime {
+			return orders[i].PostTime < orders[j].PostTime
+		}
+		return orders[i].ID < orders[j].ID
+	})
+}
+
+// CountPerSlot buckets orders by pickup region and time slot, producing
+// the [slot][region] count matrix the demand predictors train on.
+// slotSeconds is the slot width (the paper uses 30-minute slots);
+// horizon is the trace length in seconds.
+func CountPerSlot(orders []Order, grid *geo.Grid, slotSeconds, horizon float64) [][]int {
+	numSlots := int(horizon/slotSeconds) + 1
+	counts := make([][]int, numSlots)
+	for i := range counts {
+		counts[i] = make([]int, grid.NumRegions())
+	}
+	for _, o := range orders {
+		slot := int(o.PostTime / slotSeconds)
+		if slot < 0 || slot >= numSlots {
+			continue
+		}
+		r := grid.Region(o.Pickup)
+		if r == geo.InvalidRegion {
+			continue
+		}
+		counts[slot][r]++
+	}
+	return counts
+}
+
+// DropoffCountPerSlot buckets orders by destination region and the slot
+// of their *expected completion*: the paper treats order destinations as
+// the birth locations of rejoining drivers (Appendix B), so supply
+// prediction trains on this matrix. completionDelay estimates trip
+// duration; zero buckets by post time.
+func DropoffCountPerSlot(orders []Order, grid *geo.Grid, slotSeconds, horizon, completionDelay float64) [][]int {
+	numSlots := int(horizon/slotSeconds) + 1
+	counts := make([][]int, numSlots)
+	for i := range counts {
+		counts[i] = make([]int, grid.NumRegions())
+	}
+	for _, o := range orders {
+		slot := int((o.PostTime + completionDelay) / slotSeconds)
+		if slot < 0 || slot >= numSlots {
+			continue
+		}
+		r := grid.Region(o.Dropoff)
+		if r == geo.InvalidRegion {
+			continue
+		}
+		counts[slot][r]++
+	}
+	return counts
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mrvd/internal/geo"
+)
+
+func sampleOrders(n int, seed int64) []Order {
+	rng := rand.New(rand.NewSource(seed))
+	orders := make([]Order, n)
+	for i := range orders {
+		post := rng.Float64() * 86400
+		orders[i] = Order{
+			ID:       OrderID(i),
+			PostTime: post,
+			Pickup: geo.Point{
+				Lng: geo.NYCBBox.MinLng + rng.Float64()*0.26,
+				Lat: geo.NYCBBox.MinLat + rng.Float64()*0.34,
+			},
+			Dropoff: geo.Point{
+				Lng: geo.NYCBBox.MinLng + rng.Float64()*0.26,
+				Lat: geo.NYCBBox.MinLat + rng.Float64()*0.34,
+			},
+			Deadline: post + 60 + rng.Float64()*240,
+		}
+	}
+	return orders
+}
+
+func TestOrderValid(t *testing.T) {
+	good := Order{ID: 1, PostTime: 10, Deadline: 70}
+	if err := good.Valid(); err != nil {
+		t.Errorf("valid order rejected: %v", err)
+	}
+	if err := (Order{PostTime: -1, Deadline: 5}).Valid(); err == nil {
+		t.Error("negative post time accepted")
+	}
+	if err := (Order{PostTime: 100, Deadline: 50}).Valid(); err == nil {
+		t.Error("deadline before post time accepted")
+	}
+}
+
+func TestPatience(t *testing.T) {
+	o := Order{PostTime: 100, Deadline: 280}
+	if got := o.Patience(); got != 180 {
+		t.Errorf("Patience = %v, want 180", got)
+	}
+}
+
+func TestSortByPostTime(t *testing.T) {
+	orders := []Order{
+		{ID: 2, PostTime: 50, Deadline: 60},
+		{ID: 1, PostTime: 10, Deadline: 20},
+		{ID: 0, PostTime: 50, Deadline: 70},
+	}
+	SortByPostTime(orders)
+	if orders[0].ID != 1 {
+		t.Errorf("first order = %d, want 1", orders[0].ID)
+	}
+	// Tie at t=50 broken by id.
+	if orders[1].ID != 0 || orders[2].ID != 2 {
+		t.Errorf("tie-break wrong: %v", orders)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orders := sampleOrders(200, 7)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orders); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orders) {
+		t.Fatalf("round trip lost orders: %d vs %d", len(back), len(orders))
+	}
+	for i := range orders {
+		if back[i].ID != orders[i].ID {
+			t.Fatalf("order %d id mismatch", i)
+		}
+		if d := back[i].PostTime - orders[i].PostTime; d > 0.001 || d < -0.001 {
+			t.Fatalf("order %d post time drifted by %v", i, d)
+		}
+		if d := back[i].Pickup.Lng - orders[i].Pickup.Lng; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("order %d pickup drifted", i)
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "a,b,c,d,e,f,g\n1,2,3,4,5,6,7\n",
+		"bad id":        "order_id,post_time_s,pickup_lng,pickup_lat,dropoff_lng,dropoff_lat,deadline_s\nxx,1,2,3,4,5,6\n",
+		"bad float":     "order_id,post_time_s,pickup_lng,pickup_lat,dropoff_lng,dropoff_lat,deadline_s\n1,zz,2,3,4,5,6\n",
+		"invalid order": "order_id,post_time_s,pickup_lng,pickup_lat,dropoff_lng,dropoff_lat,deadline_s\n1,100,2,3,4,5,50\n",
+		"short record":  "order_id,post_time_s,pickup_lng,pickup_lat,dropoff_lng,dropoff_lat,deadline_s\n1,2,3\n",
+		"empty":         "",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestCountPerSlot(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	center := geo.NYCBBox.Center()
+	orders := []Order{
+		{ID: 0, PostTime: 10, Pickup: center, Deadline: 100},
+		{ID: 1, PostTime: 20, Pickup: center, Deadline: 100},
+		{ID: 2, PostTime: 1810, Pickup: center, Deadline: 2000},
+		{ID: 3, PostTime: 30, Pickup: geo.Point{Lng: 0, Lat: 0}, Deadline: 100}, // outside grid
+		{ID: 4, PostTime: 999999, Pickup: center, Deadline: 9999999},            // outside horizon
+	}
+	counts := CountPerSlot(orders, grid, 1800, 3600)
+	r := grid.Region(center)
+	if counts[0][r] != 2 {
+		t.Errorf("slot 0 count = %d, want 2", counts[0][r])
+	}
+	if counts[1][r] != 1 {
+		t.Errorf("slot 1 count = %d, want 1", counts[1][r])
+	}
+	total := 0
+	for _, slot := range counts {
+		for _, c := range slot {
+			total += c
+		}
+	}
+	if total != 3 {
+		t.Errorf("total bucketed = %d, want 3 (outside orders dropped)", total)
+	}
+}
+
+func TestDropoffCountPerSlotShiftsByDelay(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	center := geo.NYCBBox.Center()
+	orders := []Order{
+		{ID: 0, PostTime: 10, Dropoff: center, Deadline: 100},
+	}
+	counts := DropoffCountPerSlot(orders, grid, 1800, 7200, 2000)
+	r := grid.Region(center)
+	if counts[0][r] != 0 || counts[1][r] != 1 {
+		t.Errorf("delay shift wrong: slot0=%d slot1=%d", counts[0][r], counts[1][r])
+	}
+}

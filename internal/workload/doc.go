@@ -1,0 +1,13 @@
+// Package workload synthesizes city-scale ride-order traces with the
+// marginals of the NYC TLC yellow-taxi data the paper evaluates on: the
+// same bounding box and 16x16 grid, a diurnal arrival curve with morning
+// and evening peaks, a Gaussian-hotspot pickup mixture (Figure 5's
+// Manhattan concentration), a distance-decayed destination transition
+// kernel, and per-region Poisson arrivals within short windows — the
+// assumption Appendix B validates with chi-square tests.
+//
+// Multi-day generation adds day-of-week and weather factors so the
+// demand predictors (package predict) have the metadata signal DeepST
+// exploits. Counts-only generation lets months of training history be
+// produced without materializing tens of millions of Order values.
+package workload

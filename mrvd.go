@@ -1,0 +1,158 @@
+// Package mrvd is a queueing-theoretic vehicle dispatching framework for
+// dynamic car-hailing, reproducing Cheng et al., "A Queueing-Theoretic
+// Framework for Vehicle Dispatching in Dynamic Car-Hailing" (ICDE 2019).
+//
+// The library solves the Maximum Revenue Vehicle Dispatching (MRVD)
+// problem: riders arrive online with pickup deadlines, and the platform
+// assigns available drivers in short batches so that total revenue
+// (alpha times the summed travel cost of served orders) is maximized.
+// Its core is a double-sided birth-death queueing model per city region
+// that yields a closed-form expected driver idle time, which the IRG and
+// LS batch dispatchers use to prioritize (rider, driver) pairs.
+//
+// Quick start:
+//
+//	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 28000, Seed: 1})
+//	runner := mrvd.NewRunner(mrvd.Options{City: city, NumDrivers: 100})
+//	ls, _ := mrvd.NewDispatcher("LS", 0)
+//	metrics, err := runner.Run(ls, mrvd.PredictOracle, nil)
+//
+// See examples/ for runnable scenarios and cmd/mrvd-bench for the
+// harness regenerating every table and figure of the paper.
+package mrvd
+
+import (
+	"mrvd/internal/core"
+	"mrvd/internal/dispatch"
+	"mrvd/internal/geo"
+	"mrvd/internal/predict"
+	"mrvd/internal/queueing"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/sim"
+	"mrvd/internal/trace"
+	"mrvd/internal/workload"
+)
+
+// Geospatial types.
+type (
+	// Point is a WGS-84 coordinate (Lng east, Lat north).
+	Point = geo.Point
+	// BBox is a lng/lat bounding box.
+	BBox = geo.BBox
+	// Grid partitions a bounding box into equal rectangular regions.
+	Grid = geo.Grid
+	// RegionID names one grid cell.
+	RegionID = geo.RegionID
+)
+
+// Workload types.
+type (
+	// City is a synthetic demand model with NYC-like marginals.
+	City = workload.City
+	// CityConfig parameterizes a City.
+	CityConfig = workload.CityConfig
+	// Hotspot is one activity center of a City.
+	Hotspot = workload.Hotspot
+	// Order is one ride request (rider r_i with deadline tau_i).
+	Order = trace.Order
+)
+
+// Simulation and dispatch types.
+type (
+	// Dispatcher decides each batch's assignments (Algorithm 1 line 7).
+	Dispatcher = sim.Dispatcher
+	// Metrics aggregates one simulated day.
+	Metrics = sim.Metrics
+	// SimConfig parameterizes a raw simulation (most callers use Runner).
+	SimConfig = sim.Config
+	// Coster prices travel between two points in seconds.
+	Coster = roadnet.Coster
+)
+
+// Framework types.
+type (
+	// Options configures a Runner.
+	Options = core.Options
+	// Runner owns one problem instance and executes algorithms on it.
+	Runner = core.Runner
+	// PredictionMode selects the demand-forecast source.
+	PredictionMode = core.PredictionMode
+	// Predictor forecasts per-region, per-slot order counts.
+	Predictor = predict.Predictor
+	// QueueModel evaluates the double-sided region queue (Section 4).
+	QueueModel = queueing.Model
+	// QueueConfig parameterizes a QueueModel.
+	QueueConfig = queueing.Config
+)
+
+// Prediction modes, mirroring the paper's -P/-R algorithm variants.
+const (
+	PredictNone   = core.PredictNone
+	PredictOracle = core.PredictOracle
+	PredictModel  = core.PredictModel
+)
+
+// NYCBBox is the paper's experimental extent of New York City.
+var NYCBBox = geo.NYCBBox
+
+// NewCity builds a synthetic city; zero-value config gives the scaled
+// NYC-like default.
+func NewCity(cfg CityConfig) *City { return workload.NewCity(cfg) }
+
+// NewNYCGrid returns the paper's 16x16 grid over NYC.
+func NewNYCGrid() *Grid { return geo.NewNYCGrid() }
+
+// NewGrid builds a rows x cols grid over a bounding box.
+func NewGrid(box BBox, rows, cols int) *Grid { return geo.NewGrid(box, rows, cols) }
+
+// NewRunner materializes a problem instance from options.
+func NewRunner(opts Options) *Runner { return core.NewRunner(opts) }
+
+// AlgorithmNames lists the built-in dispatchers: IRG, LS, SHORT, LTG,
+// NEAR, RAND, POLAR, UPPER.
+func AlgorithmNames() []string { return core.AlgorithmNames() }
+
+// NewDispatcher builds a fresh dispatcher by name; seed feeds stochastic
+// baselines (RAND).
+func NewDispatcher(name string, seed int64) (Dispatcher, error) {
+	return core.NewDispatcher(name, seed)
+}
+
+// NewQueueModel builds the double-sided queueing model of Section 4.
+func NewQueueModel(cfg QueueConfig) *QueueModel { return queueing.New(cfg) }
+
+// ExpectedIdleTime evaluates ET(lambda, mu) with the default reneging
+// model: the expected wait of a driver rejoining a region with rider
+// arrival rate lambda and driver arrival rate mu (per second), where at
+// most k drivers can congest.
+func ExpectedIdleTime(lambda, mu float64, k int) float64 {
+	return queueing.NewDefault().ExpectedIdleTime(lambda, mu, k)
+}
+
+// Predictors returns fresh instances of the paper's demand models:
+// STNet (the DeepST substitute), HA, LR and GBRT.
+func Predictors(seed int64) []Predictor { return predict.All(seed) }
+
+// NewIRG returns the idle-ratio oriented greedy dispatcher (Algorithm 2).
+func NewIRG() Dispatcher { return &dispatch.IRG{} }
+
+// NewLS returns the local search dispatcher (Algorithm 3), seeded by IRG.
+func NewLS() Dispatcher { return &dispatch.LS{} }
+
+// DefaultCoster returns the Manhattan-distance coster at urban speed.
+func DefaultCoster() Coster { return roadnet.NewDefaultCoster() }
+
+// GraphCoster prices travel on a synthetic Manhattan-style road network
+// generated over the NYC box with the given seed, for studies where
+// straight-line costs are too coarse.
+func GraphCoster(seed int64) Coster {
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: seed})
+	return roadnet.NewGraphCoster(g)
+}
+
+// WriteOrdersCSV and ReadOrdersCSV expose the trace format so real data
+// (e.g., a converted TLC extract) can replace the synthetic workload.
+var (
+	WriteOrdersCSV = trace.WriteCSV
+	ReadOrdersCSV  = trace.ReadCSV
+)
