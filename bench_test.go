@@ -1,6 +1,7 @@
 package mrvd
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -31,7 +32,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(benchConfig(), io.Discard); err != nil {
+		if err := e.Run(context.Background(), benchConfig(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"mrvd/internal/experiments"
@@ -40,6 +42,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mrvd-bench: -exp required (or -list); e.g. -exp fig7")
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := experiments.Config{Scale: *scale, Seeds: *seeds}
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -53,7 +58,7 @@ func main() {
 		}
 		fmt.Printf("== %s: %s (scale=%.2f, seeds=%d) ==\n", e.ID, e.Title, *scale, *seeds)
 		start := time.Now()
-		if err := e.Run(cfg, os.Stdout); err != nil {
+		if err := e.Run(ctx, cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mrvd-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}

@@ -1,5 +1,6 @@
 // Command mrvd-sim runs one simulated day of dispatching and prints the
-// headline metrics for each requested algorithm.
+// headline metrics for each requested algorithm. Ctrl-C cancels the run
+// cleanly between batches.
 //
 // Usage:
 //
@@ -12,16 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 
-	"mrvd/internal/core"
+	"mrvd"
 	"mrvd/internal/predict"
-	"mrvd/internal/trace"
-	"mrvd/internal/workload"
 )
 
 func main() {
@@ -38,77 +38,81 @@ func main() {
 	)
 	flag.Parse()
 
-	city := workload.NewCity(workload.CityConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	city := mrvd.NewCity(mrvd.CityConfig{
 		OrdersPerDay: *orders, BaseWaitSeconds: *tau, Seed: 31,
 	})
-	opts := core.Options{
-		City: city, NumDrivers: *drivers,
-		Delta: *delta, TC: *tc, Seed: *seed,
-	}
 
-	mode := core.PredictOracle
-	var model predict.Predictor
+	mode := mrvd.PredictOracle
+	var model mrvd.Predictor
 	switch strings.ToLower(*pred) {
 	case "oracle":
 	case "none":
-		mode = core.PredictNone
+		mode = mrvd.PredictNone
 	case "stnet":
-		mode, model = core.PredictModel, &predict.STNet{}
+		mode, model = mrvd.PredictModel, &predict.STNet{}
 	case "ha":
-		mode, model = core.PredictModel, predict.HA{}
+		mode, model = mrvd.PredictModel, predict.HA{}
 	case "lr":
-		mode, model = core.PredictModel, &predict.LR{}
+		mode, model = mrvd.PredictModel, &predict.LR{}
 	case "gbrt":
-		mode, model = core.PredictModel, &predict.GBRT{Seed: *seed}
+		mode, model = mrvd.PredictModel, &predict.GBRT{Seed: *seed}
 	default:
 		fmt.Fprintf(os.Stderr, "mrvd-sim: unknown -pred %q\n", *pred)
 		os.Exit(2)
 	}
 
-	var base *core.Runner
+	// mode/model are passed to each runner.Run below, not WithPrediction:
+	// this command drives the lower-level Runner API to share history
+	// across algorithms.
+	svcOpts := []mrvd.Option{
+		mrvd.WithCity(city),
+		mrvd.WithFleet(*drivers),
+		mrvd.WithBatchInterval(*delta),
+		mrvd.WithSchedulingWindow(*tc),
+		mrvd.WithSeed(*seed),
+	}
+	if *traceFile != "" {
+		// Replay the external trace: orders come from the file; drivers
+		// start at sampled pickups.
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		external, err := mrvd.ReadOrdersCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		svcOpts = append(svcOpts, mrvd.WithOrders(external, nil))
+	}
+	svc := mrvd.NewService(svcOpts...)
+
+	// History and trained predictors are built by the first algorithm's
+	// runner and shared with the rest.
+	var base *mrvd.Runner
 	fmt.Printf("%-6s %14s %8s %8s %10s %12s %10s\n",
 		"alg", "revenue", "served", "reneged", "meanIdle", "pickupSec", "avgBatch")
 	for _, alg := range strings.Split(*algsFlag, ",") {
 		alg = strings.TrimSpace(alg)
-		runner := core.NewRunner(opts)
-		if *traceFile != "" {
-			// Rebuild the runner around the external trace: orders come
-			// from the file; drivers start at sampled pickups.
-			f, err := os.Open(*traceFile)
-			if err != nil {
-				fatal(err)
-			}
-			external, err := trace.ReadCSV(f)
-			f.Close()
-			if err != nil {
-				fatal(err)
-			}
-			runner = core.NewRunnerWithOrders(opts, external,
-				city.InitialDrivers(*drivers, external, rand.New(rand.NewSource(*seed))))
-		}
+		runner := svc.Runner()
 		if base != nil {
 			runner.ShareFrom(base)
 		}
-		d, err := core.NewDispatcher(alg, *seed)
+		d, err := mrvd.NewDispatcher(alg, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		m, err := runner.Run(d, mode, model)
+		m, err := runner.Run(ctx, d, mode, model)
 		if err != nil {
 			fatal(err)
 		}
 		base = runner
-		idle, n := 0.0, 0
-		for _, rec := range m.IdleRecords {
-			idle += rec.Realized
-			n++
-		}
-		mean := 0.0
-		if n > 0 {
-			mean = idle / float64(n)
-		}
+		s := m.Summary()
 		fmt.Printf("%-6s %14.0f %8d %8d %9.1fs %12.0f %9.4fs\n",
-			alg, m.Revenue, m.Served, m.Reneged, mean, m.PickupSeconds, m.AvgBatchSeconds())
+			alg, s.Revenue, s.Served, s.Reneged, s.MeanIdleSeconds(), s.PickupSeconds, m.AvgBatchSeconds())
 	}
 }
 

@@ -2,9 +2,14 @@
 // every algorithm's revenue approach the UPPER bound — the dynamics of
 // the paper's Figure 7. A platform operator can read off the smallest
 // fleet that captures a target fraction of the attainable revenue.
+//
+// The whole (algorithm × fleet) grid runs through Service.Sweep on a
+// parallel worker pool; results are deterministic and come back in grid
+// order, so the table below is identical to a sequential run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,33 +25,43 @@ func main() {
 	fleets := []int{50, 100, 200, 350, 500}
 	algs := []string{"LS", "NEAR", "RAND", "UPPER"}
 
+	svc := mrvd.NewService(
+		mrvd.WithCity(city),
+		mrvd.WithBatchInterval(5),
+	)
+	results, err := svc.Sweep(context.Background(), mrvd.SweepSpec{
+		Algorithms: algs,
+		Fleets:     fleets,
+		Seeds:      []int64{0},
+		Mode:       mrvd.PredictOracle,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index revenue by (fleet, algorithm) from the grid-ordered results.
+	revenue := map[int]map[string]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("%s fleet %d: %v", r.Algorithm, r.Fleet, r.Err)
+		}
+		if revenue[r.Fleet] == nil {
+			revenue[r.Fleet] = map[string]float64{}
+		}
+		revenue[r.Fleet][r.Algorithm] = r.Metrics.Revenue
+	}
+
 	fmt.Println("revenue vs fleet size (28K daily orders)")
 	fmt.Printf("%-8s", "fleet")
 	for _, a := range algs {
 		fmt.Printf("%14s", a)
 	}
 	fmt.Printf("%14s\n", "LS %of UPPER")
-
 	for _, n := range fleets {
 		fmt.Printf("%-8d", n)
-		revenues := map[string]float64{}
 		for _, a := range algs {
-			runner := mrvd.NewRunner(mrvd.Options{
-				City:       city,
-				NumDrivers: n,
-				Delta:      5,
-			})
-			d, err := mrvd.NewDispatcher(a, 1)
-			if err != nil {
-				log.Fatal(err)
-			}
-			m, err := runner.Run(d, mrvd.PredictOracle, nil)
-			if err != nil {
-				log.Fatal(err)
-			}
-			revenues[a] = m.Revenue
-			fmt.Printf("%14.0f", m.Revenue)
+			fmt.Printf("%14.0f", revenue[n][a])
 		}
-		fmt.Printf("%13.1f%%\n", 100*revenues["LS"]/revenues["UPPER"])
+		fmt.Printf("%13.1f%%\n", 100*revenue[n]["LS"]/revenue[n]["UPPER"])
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,48 +22,30 @@ func main() {
 	fmt.Println("morning-peak shortage: 42K daily orders, 120 drivers")
 	fmt.Printf("%-6s %14s %9s %10s %12s\n", "alg", "revenue", "served", "meanIdle", "% of UPPER")
 
-	type result struct {
-		name    string
-		revenue float64
-	}
+	svc := mrvd.NewService(
+		mrvd.WithCity(city),
+		mrvd.WithFleet(120),
+		mrvd.WithBatchInterval(3),
+		mrvd.WithSeed(1),
+	)
+
 	var upper float64
-	var rows []result
+	byName := map[string]float64{}
 	for _, name := range []string{"UPPER", "LS", "IRG", "LTG", "NEAR", "RAND"} {
-		runner := mrvd.NewRunner(mrvd.Options{
-			City:       city,
-			NumDrivers: 120,
-			Delta:      3,
-		})
-		d, err := mrvd.NewDispatcher(name, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		m, err := runner.Run(d, mrvd.PredictOracle, nil)
+		m, err := svc.Run(context.Background(), name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if name == "UPPER" {
 			upper = m.Revenue
 		}
-		idle, n := 0.0, 0
-		for _, rec := range m.IdleRecords {
-			idle += rec.Realized
-			n++
-		}
-		mean := 0.0
-		if n > 0 {
-			mean = idle / float64(n)
-		}
+		s := m.Summary()
 		fmt.Printf("%-6s %14.0f %9d %9.0fs %11.1f%%\n",
-			name, m.Revenue, m.Served, mean, 100*m.Revenue/upper)
-		rows = append(rows, result{name, m.Revenue})
+			name, s.Revenue, s.Served, s.MeanIdleSeconds(), 100*s.Revenue/upper)
+		byName[name] = m.Revenue
 	}
 
 	// Revenue lift of the queueing-aware methods over the baselines.
-	byName := map[string]float64{}
-	for _, r := range rows {
-		byName[r.name] = r.revenue
-	}
 	fmt.Printf("\nLS over RAND: %+.2f%%   LS over NEAR: %+.2f%%\n",
 		100*(byName["LS"]/byName["RAND"]-1), 100*(byName["LS"]/byName["NEAR"]-1))
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,22 +20,19 @@ func main() {
 		Seed:            1,
 	})
 
-	// A problem instance: one generated day plus a 100-vehicle fleet
-	// starting at sampled pickup locations.
-	runner := mrvd.NewRunner(mrvd.Options{
-		City:       city,
-		NumDrivers: 100,
-		Delta:      3,    // batch every 3 seconds
-		TC:         1200, // 20-minute queueing-analysis window
-	})
+	// A dispatch service over one generated day plus a 100-vehicle fleet
+	// starting at sampled pickup locations, fed real (oracle) demand
+	// forecasts — the paper's best configuration.
+	svc := mrvd.NewService(
+		mrvd.WithCity(city),
+		mrvd.WithFleet(100),
+		mrvd.WithBatchInterval(3),       // batch every 3 seconds
+		mrvd.WithSchedulingWindow(1200), // 20-minute queueing-analysis window
+	)
 
-	// The paper's best algorithm: idle-ratio greedy refined by local
-	// search, fed real (oracle) demand forecasts.
-	ls, err := mrvd.NewDispatcher("LS", 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	m, err := runner.Run(ls, mrvd.PredictOracle, nil)
+	// Run the paper's best algorithm: idle-ratio greedy refined by local
+	// search. The context cancels mid-run if needed (Ctrl-C, deadlines).
+	m, err := svc.Run(context.Background(), "LS")
 	if err != nil {
 		log.Fatal(err)
 	}

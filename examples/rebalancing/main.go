@@ -2,16 +2,17 @@
 // destination steering to active supply repositioning. Long-idle drivers
 // cruise toward the neighbouring region with the smallest expected idle
 // time (the same ET(lambda, mu) the dispatcher minimizes). The example
-// also prints the region-level rider-side analytics — renege probability
-// and mean queue length — that explain where rebalancing pays off.
+// counts the cruises live through an event observer and prints the
+// region-level rider-side analytics — renege probability and mean queue
+// length — that explain where rebalancing pays off.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mrvd"
-	"mrvd/internal/core"
 	"mrvd/internal/dispatch"
 	"mrvd/internal/queueing"
 )
@@ -19,30 +20,32 @@ import (
 func main() {
 	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 28000, Seed: 5})
 
-	run := func(reposition bool) *mrvd.Metrics {
-		opts := core.Options{City: city, NumDrivers: 150, Delta: 5}
+	run := func(reposition bool) (*mrvd.Metrics, int) {
+		cruises := 0
+		opts := []mrvd.Option{
+			mrvd.WithCity(city),
+			mrvd.WithFleet(150),
+			mrvd.WithBatchInterval(5),
+			mrvd.WithObserver(mrvd.ObserverFuncs{
+				Repositioned: func(mrvd.RepositionedEvent) { cruises++ },
+			}),
+		}
 		if reposition {
-			opts.Repositioner = &dispatch.QueueReposition{}
-			opts.RepositionAfter = 240
+			opts = append(opts, mrvd.WithRepositioner(&dispatch.QueueReposition{}, 240))
 		}
-		runner := core.NewRunner(opts)
-		d, err := mrvd.NewDispatcher("IRG", 1)
+		m, err := mrvd.NewService(opts...).Run(context.Background(), "IRG")
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := runner.Run(d, mrvd.PredictOracle, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return m
+		return m, cruises
 	}
 
-	base := run(false)
-	rebal := run(true)
+	base, _ := run(false)
+	rebal, cruises := run(true)
 	fmt.Println("IRG, 28K orders, 150 drivers:")
-	fmt.Printf("%-24s %14s %8s %10s\n", "", "revenue", "served", "reneged")
-	fmt.Printf("%-24s %14.0f %8d %10d\n", "stay at dropoff (paper)", base.Revenue, base.Served, base.Reneged)
-	fmt.Printf("%-24s %14.0f %8d %10d\n", "queue-guided rebalancing", rebal.Revenue, rebal.Served, rebal.Reneged)
+	fmt.Printf("%-24s %14s %8s %10s %9s\n", "", "revenue", "served", "reneged", "cruises")
+	fmt.Printf("%-24s %14.0f %8d %10d %9d\n", "stay at dropoff (paper)", base.Revenue, base.Served, base.Reneged, 0)
+	fmt.Printf("%-24s %14.0f %8d %10d %9d\n", "queue-guided rebalancing", rebal.Revenue, rebal.Served, rebal.Reneged, cruises)
 	fmt.Printf("revenue change: %+.2f%%\n\n", 100*(rebal.Revenue/base.Revenue-1))
 
 	// Rider-side analytics for three demand/supply mixes: why some

@@ -1,0 +1,3 @@
+module mrvd
+
+go 1.24

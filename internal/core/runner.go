@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -58,7 +59,20 @@ type Options struct {
 	Repositioner sim.Repositioner
 	// RepositionAfter is the idle threshold before repositioning fires.
 	RepositionAfter float64
+	// Observer, when set, receives engine lifecycle events during runs
+	// (see sim.Observer) — streaming metrics export without post-hoc
+	// Metrics scraping.
+	Observer sim.Observer
+	// PaceFactor throttles the batch loop to at most PaceFactor
+	// simulated seconds per wall second (1 = real time, 0 = free-run);
+	// see sim.Config.PaceFactor. Live RunSource serving with wall-clock
+	// producers needs this.
+	PaceFactor float64
 }
+
+// WithDefaults returns a copy of the options with every unset field
+// replaced by its documented default.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.City == nil {
@@ -109,6 +123,20 @@ func NewRunner(opts Options) *Runner {
 	return NewRunnerWithOrders(opts, orders, starts)
 }
 
+// NewRunnerForTrace builds a runner replaying an external trace, with
+// driver starts sampled from the trace's pickups using the options'
+// seed when starts is nil. It is the one place that start-sampling
+// recipe lives, so Run, Serve and Sweep position the same fleet for
+// the same (trace, seed, fleet).
+func NewRunnerForTrace(opts Options, orders []trace.Order, starts []geo.Point) *Runner {
+	opts = opts.withDefaults()
+	if starts == nil {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		starts = opts.City.InitialDrivers(opts.NumDrivers, orders, rng)
+	}
+	return NewRunnerWithOrders(opts, orders, starts)
+}
+
 // NewRunnerWithOrders builds a runner over an externally supplied trace
 // (e.g., a converted TLC extract) and explicit driver start positions.
 // The city still provides the grid and the oracle/trained predictions.
@@ -126,6 +154,9 @@ func NewRunnerWithOrders(opts Options, orders []trace.Order, starts []geo.Point)
 // Orders exposes the test-day trace.
 func (r *Runner) Orders() []trace.Order { return r.orders }
 
+// Starts exposes the fleet's initial positions.
+func (r *Runner) Starts() []geo.Point { return r.starts }
+
 // Options returns the (defaulted) options.
 func (r *Runner) Options() Options { return r.opts }
 
@@ -133,6 +164,21 @@ func (r *Runner) Options() Options { return r.opts }
 // test day's realized counts (predictors only read strictly-past cells,
 // so appending the whole day is sound). It is built lazily and cached.
 func (r *Runner) History() *predict.History { return r.ensureHistory() }
+
+// fork returns a fresh runner over the same materialized instance:
+// orders, starts and oracle intensities are shared (all read-only during
+// runs), while the history pointer and predictor cache start empty so
+// the fork trains and runs independently. Sweep forks one instance per
+// cell instead of regenerating it.
+func (r *Runner) fork() *Runner {
+	return &Runner{
+		opts:       r.opts,
+		orders:     r.orders,
+		starts:     r.starts,
+		expected:   r.expected,
+		trainedSet: make(map[string]predict.Predictor),
+	}
+}
 
 // ShareFrom copies another runner's built history and trained predictors.
 // Valid only when both runners use the same city, TrainDays, SlotSeconds
@@ -257,14 +303,9 @@ func (r *Runner) predictFn(mode PredictionMode, model predict.Predictor) (func(n
 	}
 }
 
-// Run executes one algorithm over the instance and returns its metrics.
-// model is only consulted in PredictModel mode.
-func (r *Runner) Run(d sim.Dispatcher, mode PredictionMode, model predict.Predictor) (*sim.Metrics, error) {
-	fn, err := r.predictFn(mode, model)
-	if err != nil {
-		return nil, err
-	}
-	cfg := sim.Config{
+// simConfig assembles the simulator configuration for one run.
+func (r *Runner) simConfig(fn func(now, tc float64) []int) sim.Config {
+	return sim.Config{
 		Grid:            r.opts.City.Grid(),
 		Coster:          r.opts.Coster,
 		Delta:           r.opts.Delta,
@@ -273,8 +314,39 @@ func (r *Runner) Run(d sim.Dispatcher, mode PredictionMode, model predict.Predic
 		PredictRiders:   fn,
 		Repositioner:    r.opts.Repositioner,
 		RepositionAfter: r.opts.RepositionAfter,
+		Observer:        r.opts.Observer,
+		PaceFactor:      r.opts.PaceFactor,
 	}
-	return sim.New(cfg, r.orders, r.starts).Run(d)
+}
+
+// Run executes one algorithm over the instance and returns its metrics.
+// model is only consulted in PredictModel mode. The context cancels the
+// run between batches (the run returns the context's error, wrapped).
+func (r *Runner) Run(ctx context.Context, d sim.Dispatcher, mode PredictionMode, model predict.Predictor) (*sim.Metrics, error) {
+	fn, err := r.predictFn(mode, model)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(r.simConfig(fn), r.orders, r.starts).Run(ctx, d)
+}
+
+// RunSource executes one algorithm over a streaming order source (e.g.
+// a live sim.ChannelSource fed by Submit) instead of the runner's
+// materialized trace, with the instance's grid, coster, timing and
+// prediction configuration. The run ends at the horizon, when ctx is
+// canceled, or — once src is exhausted — when no rider waits and no
+// driver is busy.
+func (r *Runner) RunSource(ctx context.Context, d sim.Dispatcher, mode PredictionMode, model predict.Predictor, src sim.OrderSource, starts []geo.Point) (*sim.Metrics, error) {
+	fn, err := r.predictFn(mode, model)
+	if err != nil {
+		return nil, err
+	}
+	if starts == nil {
+		starts = r.starts
+	}
+	cfg := r.simConfig(fn)
+	cfg.StopWhenDrained = true
+	return sim.NewWithSource(cfg, src, starts).Run(ctx, d)
 }
 
 // AlgorithmNames lists the dispatchers NewDispatcher accepts, in the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestRunnerRunAllAlgorithmsNoPrediction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := r.Run(d, PredictNone, nil)
+		m, err := r.Run(context.Background(), d, PredictNone, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -64,12 +65,12 @@ func TestRunnerOracleBeatsOrMatchesNoPrediction(t *testing.T) {
 	// scale assert non-catastrophic: within 5% below, typically above).
 	r := NewRunner(testOptions())
 	d1, _ := NewDispatcher("IRG", 0)
-	none, err := r.Run(d1, PredictNone, nil)
+	none, err := r.Run(context.Background(), d1, PredictNone, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	d2, _ := NewDispatcher("IRG", 0)
-	oracle, err := r.Run(d2, PredictOracle, nil)
+	oracle, err := r.Run(context.Background(), d2, PredictOracle, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRunnerOracleBeatsOrMatchesNoPrediction(t *testing.T) {
 func TestRunnerModelPrediction(t *testing.T) {
 	r := NewRunner(testOptions())
 	d, _ := NewDispatcher("IRG", 0)
-	m, err := r.Run(d, PredictModel, predict.HA{})
+	m, err := r.Run(context.Background(), d, PredictModel, predict.HA{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestRunnerModelPrediction(t *testing.T) {
 func TestRunnerModelPredictionRequiresModel(t *testing.T) {
 	r := NewRunner(testOptions())
 	d, _ := NewDispatcher("IRG", 0)
-	if _, err := r.Run(d, PredictModel, nil); err == nil {
+	if _, err := r.Run(context.Background(), d, PredictModel, nil); err == nil {
 		t.Error("PredictModel without a model accepted")
 	}
 }
@@ -151,11 +152,11 @@ func TestRunnerDeterministicInstances(t *testing.T) {
 	}
 	da, _ := NewDispatcher("LS", 0)
 	db, _ := NewDispatcher("LS", 0)
-	ma, err := a.Run(da, PredictOracle, nil)
+	ma, err := a.Run(context.Background(), da, PredictOracle, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mb, err := b.Run(db, PredictOracle, nil)
+	mb, err := b.Run(context.Background(), db, PredictOracle, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestRunnerShareFromPreservesResults(t *testing.T) {
 	opts := testOptions()
 	fresh := NewRunner(opts)
 	d1, _ := NewDispatcher("IRG", 0)
-	want, err := fresh.Run(d1, PredictModel, predict.HA{})
+	want, err := fresh.Run(context.Background(), d1, PredictModel, predict.HA{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestRunnerShareFromPreservesResults(t *testing.T) {
 	shared := NewRunner(opts)
 	shared.ShareFrom(base)
 	d2, _ := NewDispatcher("IRG", 0)
-	got, err := shared.Run(d2, PredictModel, predict.HA{})
+	got, err := shared.Run(context.Background(), d2, PredictModel, predict.HA{})
 	if err != nil {
 		t.Fatal(err)
 	}

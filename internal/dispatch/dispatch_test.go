@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -294,7 +295,7 @@ func endToEnd(t *testing.T, d sim.Dispatcher, seed int64) *sim.Metrics {
 			return out
 		},
 	}
-	m, err := sim.New(cfg, orders, starts).Run(d)
+	m, err := sim.New(cfg, orders, starts).Run(context.Background(), d)
 	if err != nil {
 		t.Fatalf("%s: %v", d.Name(), err)
 	}

@@ -45,9 +45,9 @@ func (h scoredHeap) Less(i, j int) bool {
 	}
 	return h[i].pairIdx < h[j].pairIdx // deterministic tie-break
 }
-func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(scoredItem)) }
-func (h *scoredHeap) Pop() interface{} {
+func (h scoredHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x any)   { *h = append(*h, x.(scoredItem)) }
+func (h *scoredHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -23,13 +24,13 @@ func init() {
 // runDirect executes a concrete dispatcher (not the name factory) over
 // the configured instance seeds and returns mean revenue, served count,
 // and mean idle-estimate absolute error where estimates exist.
-func (c Config) runDirect(opts core.Options, mk func(seed int64) sim.Dispatcher, mode core.PredictionMode) (revenue, served, idleMAE float64, err error) {
+func (c Config) runDirect(ctx context.Context, opts core.Options, mk func(seed int64) sim.Dispatcher, mode core.PredictionMode) (revenue, served, idleMAE float64, err error) {
 	maeSum, maeN := 0.0, 0
 	for seed := int64(1); seed <= int64(c.Seeds); seed++ {
 		o := opts
 		o.Seed = seed
 		runner := core.NewRunner(o)
-		m, rerr := runner.Run(mk(seed), mode, nil)
+		m, rerr := runner.Run(ctx, mk(seed), mode, nil)
 		if rerr != nil {
 			return 0, 0, 0, rerr
 		}
@@ -55,14 +56,14 @@ func (c Config) runDirect(opts core.Options, mk func(seed int64) sim.Dispatcher,
 
 func isInf(x float64) bool { return x > 1e300 || x < -1e300 }
 
-func runAblationReneging(cfg Config, w io.Writer) error {
+func runAblationReneging(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "beta\trevenue\tserved\tidle-estimate MAE (s)\n")
 	for _, beta := range []float64{0, 0.02, 0.05, 0.1, 0.2} {
 		model := queueing.New(queueing.Config{Beta: beta})
-		rev, served, mae, err := cfg.runDirect(
+		rev, served, mae, err := cfg.runDirect(ctx,
 			core.Options{City: city, NumDrivers: cfg.Drivers(1000)},
 			func(int64) sim.Dispatcher { return &dispatch.IRG{Model: model} },
 			core.PredictOracle)
@@ -74,7 +75,7 @@ func runAblationReneging(cfg Config, w io.Writer) error {
 	return tw.Flush()
 }
 
-func runAblationLSSeed(cfg Config, w io.Writer) error {
+func runAblationLSSeed(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -92,7 +93,7 @@ func runAblationLSSeed(cfg Config, w io.Writer) error {
 		}},
 	}
 	for _, s := range seeds {
-		rev, served, _, err := cfg.runDirect(
+		rev, served, _, err := cfg.runDirect(ctx,
 			core.Options{City: city, NumDrivers: cfg.Drivers(1000)}, s.mk, core.PredictOracle)
 		if err != nil {
 			return err
@@ -102,7 +103,7 @@ func runAblationLSSeed(cfg Config, w io.Writer) error {
 	return tw.Flush()
 }
 
-func runAblationCoster(cfg Config, w io.Writer) error {
+func runAblationCoster(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	// The graph coster runs Dijkstra per query; keep this ablation small
 	// regardless of the configured scale.
@@ -123,31 +124,19 @@ func runAblationCoster(cfg Config, w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "coster\tIRG revenue\tserved\tavg batch (s)\n")
 	for _, c := range costers {
-		var rev, served, batch float64
-		for seed := int64(1); seed <= int64(small.Seeds); seed++ {
-			runner := core.NewRunner(core.Options{
-				City: city, NumDrivers: small.Drivers(1000), Seed: seed, Coster: c.c,
-				Delta: 10, // fewer batches: Dijkstra-backed costs are slow
-			})
-			d, err := core.NewDispatcher("IRG", seed)
-			if err != nil {
-				return err
-			}
-			m, err := runner.Run(d, core.PredictOracle, nil)
-			if err != nil {
-				return err
-			}
-			rev += m.Revenue
-			served += float64(m.Served)
-			batch += m.AvgBatchSeconds()
+		rev, served, batch, err := small.runPoint(ctx, core.Options{
+			City: city, NumDrivers: small.Drivers(1000), Coster: c.c,
+			Delta: 10, // fewer batches: Dijkstra-backed costs are slow
+		}, "IRG", core.PredictOracle, nil)
+		if err != nil {
+			return err
 		}
-		n := float64(small.Seeds)
-		fmt.Fprintf(tw, "%s\t%.4g\t%.0f\t%.4f\n", c.label, rev/n, served/n, batch/n)
+		fmt.Fprintf(tw, "%s\t%.4g\t%.0f\t%.4f\n", c.label, rev, served, batch)
 	}
 	return tw.Flush()
 }
 
-func runAblationMuUpdate(cfg Config, w io.Writer) error {
+func runAblationMuUpdate(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -160,7 +149,7 @@ func runAblationMuUpdate(cfg Config, w io.Writer) error {
 		{"mu update off (frozen scores)", func(int64) sim.Dispatcher { return &dispatch.IRG{DisableMuUpdate: true} }},
 	}
 	for _, v := range variants {
-		rev, served, _, err := cfg.runDirect(
+		rev, served, _, err := cfg.runDirect(ctx,
 			core.Options{City: city, NumDrivers: cfg.Drivers(1000)}, v.mk, core.PredictOracle)
 		if err != nil {
 			return err
@@ -170,7 +159,7 @@ func runAblationMuUpdate(cfg Config, w io.Writer) error {
 	return tw.Flush()
 }
 
-func runAblationReposition(cfg Config, w io.Writer) error {
+func runAblationReposition(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -190,7 +179,8 @@ func runAblationReposition(cfg Config, w io.Writer) error {
 		}},
 	}
 	for _, v := range variants {
-		rev, served, _, err := cfg.runDirect(v.opts(),
+		rev, served, _, err := cfg.runDirect(ctx,
+			v.opts(),
 			func(int64) sim.Dispatcher { return &dispatch.IRG{} }, core.PredictOracle)
 		if err != nil {
 			return err

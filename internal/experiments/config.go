@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"mrvd/internal/core"
 	"mrvd/internal/predict"
-	"mrvd/internal/sim"
 	"mrvd/internal/workload"
 )
 
@@ -63,26 +63,39 @@ func (c Config) city(baseWait float64) *workload.City {
 	})
 }
 
+// seedList returns the instance seeds 1..Seeds of a data point.
+func (c Config) seedList() []int64 {
+	seeds := make([]int64, c.Seeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
 // runPoint executes one (algorithm, options) data point averaged over
-// the configured instance seeds, returning mean revenue, mean served
-// count, and mean per-batch wall time in seconds.
-func (c Config) runPoint(opts core.Options, alg string, mode core.PredictionMode, model predict.Predictor) (revenue, served, batchSec float64, err error) {
-	for seed := int64(1); seed <= int64(c.Seeds); seed++ {
-		o := opts
-		o.Seed = seed
-		runner := core.NewRunner(o)
-		d, derr := core.NewDispatcher(alg, seed)
-		if derr != nil {
-			return 0, 0, 0, derr
+// the configured instance seeds via core.Sweep, returning mean revenue,
+// mean served count, and mean per-batch wall time in seconds.
+func (c Config) runPoint(ctx context.Context, opts core.Options, alg string, mode core.PredictionMode, model func() predict.Predictor) (revenue, served, batchSec float64, err error) {
+	results, err := core.Sweep(ctx, opts, core.SweepSpec{
+		Algorithms: []string{alg},
+		Seeds:      c.seedList(),
+		Fleets:     []int{opts.WithDefaults().NumDrivers},
+		// Sequential on purpose: callers report the per-batch wall time,
+		// and parallel cells would inflate it with CPU contention.
+		Workers: 1,
+		Mode:    mode,
+		Model:   model,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return 0, 0, 0, fmt.Errorf("%s seed %d: %w", alg, r.Seed, r.Err)
 		}
-		var m *sim.Metrics
-		m, err = runner.Run(d, mode, model)
-		if err != nil {
-			return 0, 0, 0, fmt.Errorf("%s seed %d: %w", alg, seed, err)
-		}
-		revenue += m.Revenue
-		served += float64(m.Served)
-		batchSec += m.AvgBatchSeconds()
+		revenue += r.Metrics.Revenue
+		served += float64(r.Metrics.Served)
+		batchSec += r.Metrics.AvgBatchSeconds()
 	}
 	n := float64(c.Seeds)
 	return revenue / n, served / n, batchSec / n, nil
@@ -95,7 +108,7 @@ type Experiment struct {
 	// Title describes what the artifact shows.
 	Title string
 	// Run writes the regenerated table to w.
-	Run func(cfg Config, w io.Writer) error
+	Run func(ctx context.Context, cfg Config, w io.Writer) error
 }
 
 var registry = map[string]Experiment{}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -43,7 +44,7 @@ func runSmoke(t *testing.T, id string) string {
 		t.Fatalf("experiment %q missing", id)
 	}
 	var buf bytes.Buffer
-	if err := e.Run(tinyConfig(), &buf); err != nil {
+	if err := e.Run(context.Background(), tinyConfig(), &buf); err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
 	out := buf.String()

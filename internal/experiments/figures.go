@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -59,7 +60,7 @@ func paperSeries(includeUpper bool) []series {
 // table and one batch-time table with a column per value. makeOpts must
 // produce fully-specified options for (value, seed); runners sharing a
 // city and seed share history and trained predictors.
-func sweep(cfg Config, w io.Writer, paramName string, values []string, makeOpts func(vi int, seed int64) core.Options, ss []series, metric func(*sim.Metrics) float64, metricName string) error {
+func sweep(ctx context.Context, cfg Config, w io.Writer, paramName string, values []string, makeOpts func(vi int, seed int64) core.Options, ss []series, metric func(*sim.Metrics) float64, metricName string) error {
 	cfg = cfg.withDefaults()
 	results := make([][]float64, len(ss)) // [series][value]
 	batch := make([][]float64, len(ss))
@@ -89,7 +90,7 @@ func sweep(cfg Config, w io.Writer, paramName string, values []string, makeOpts 
 				if s.model != nil {
 					model = s.model(seed)
 				}
-				m, err := runner.Run(d, s.mode, model)
+				m, err := runner.Run(ctx, d, s.mode, model)
 				if err != nil {
 					return fmt.Errorf("%s %s=%s seed %d: %w", s.label, paramName, values[vi], seed, err)
 				}
@@ -139,7 +140,7 @@ func sweep(cfg Config, w io.Writer, paramName string, values []string, makeOpts 
 func revenueMetric(m *sim.Metrics) float64 { return m.Revenue }
 func servedMetric(m *sim.Metrics) float64  { return float64(m.Served) }
 
-func runFig7(cfg Config, w io.Writer) error {
+func runFig7(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	paperNs := []int{1000, 2000, 3000, 4000, 5000}
@@ -147,12 +148,12 @@ func runFig7(cfg Config, w io.Writer) error {
 	for i, n := range paperNs {
 		labels[i] = fmt.Sprintf("%dK", n/1000)
 	}
-	return sweep(cfg, w, "n", labels, func(vi int, seed int64) core.Options {
+	return sweep(ctx, cfg, w, "n", labels, func(vi int, seed int64) core.Options {
 		return core.Options{City: city, NumDrivers: cfg.Drivers(paperNs[vi]), Seed: seed}
 	}, paperSeries(true), revenueMetric, "total revenue")
 }
 
-func runFig8(cfg Config, w io.Writer) error {
+func runFig8(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	deltas := []float64{3, 5, 10, 20, 30}
@@ -160,12 +161,12 @@ func runFig8(cfg Config, w io.Writer) error {
 	for i, d := range deltas {
 		labels[i] = fmt.Sprintf("%gs", d)
 	}
-	return sweep(cfg, w, "Delta", labels, func(vi int, seed int64) core.Options {
+	return sweep(ctx, cfg, w, "Delta", labels, func(vi int, seed int64) core.Options {
 		return core.Options{City: city, NumDrivers: cfg.Drivers(1000), Delta: deltas[vi], Seed: seed}
 	}, paperSeries(false), revenueMetric, "total revenue")
 }
 
-func runFig9(cfg Config, w io.Writer) error {
+func runFig9(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	tcs := []float64{5, 10, 15, 20, 40, 60, 80, 100} // minutes
@@ -173,12 +174,12 @@ func runFig9(cfg Config, w io.Writer) error {
 	for i, tc := range tcs {
 		labels[i] = fmt.Sprintf("%gm", tc)
 	}
-	return sweep(cfg, w, "t_c", labels, func(vi int, seed int64) core.Options {
+	return sweep(ctx, cfg, w, "t_c", labels, func(vi int, seed int64) core.Options {
 		return core.Options{City: city, NumDrivers: cfg.Drivers(1000), TC: tcs[vi] * 60, Seed: seed}
 	}, paperSeries(false), revenueMetric, "total revenue")
 }
 
-func runFig10(cfg Config, w io.Writer) error {
+func runFig10(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	taus := []float64{60, 120, 180, 240, 300}
 	labels := make([]string, len(taus))
@@ -187,12 +188,12 @@ func runFig10(cfg Config, w io.Writer) error {
 		labels[i] = fmt.Sprintf("%gs", tau)
 		cities[i] = cfg.city(tau) // tau changes order deadlines, hence the city
 	}
-	return sweep(cfg, w, "tau", labels, func(vi int, seed int64) core.Options {
+	return sweep(ctx, cfg, w, "tau", labels, func(vi int, seed int64) core.Options {
 		return core.Options{City: cities[vi], NumDrivers: cfg.Drivers(1000), Seed: seed}
 	}, paperSeries(false), revenueMetric, "total revenue")
 }
 
-func runFig13(cfg Config, w io.Writer) error {
+func runFig13(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	ss := []series{
 		{label: "RAND", alg: "RAND", mode: core.PredictNone},
@@ -208,7 +209,7 @@ func runFig13(cfg Config, w io.Writer) error {
 	for i, n := range paperNs {
 		nLabels[i] = fmt.Sprintf("%dK", n/1000)
 	}
-	if err := sweep(cfg, w, "n", nLabels, func(vi int, seed int64) core.Options {
+	if err := sweep(ctx, cfg, w, "n", nLabels, func(vi int, seed int64) core.Options {
 		return core.Options{City: city, NumDrivers: cfg.Drivers(paperNs[vi]), Seed: seed}
 	}, ss, servedMetric, "served orders"); err != nil {
 		return err
@@ -220,7 +221,7 @@ func runFig13(cfg Config, w io.Writer) error {
 	for i, tc := range tcs {
 		tcLabels[i] = fmt.Sprintf("%gm", tc)
 	}
-	if err := sweep(cfg, w, "t_c", tcLabels, func(vi int, seed int64) core.Options {
+	if err := sweep(ctx, cfg, w, "t_c", tcLabels, func(vi int, seed int64) core.Options {
 		return core.Options{City: city, NumDrivers: cfg.Drivers(1000), TC: tcs[vi] * 60, Seed: seed}
 	}, ss, servedMetric, "served orders"); err != nil {
 		return err
@@ -232,7 +233,7 @@ func runFig13(cfg Config, w io.Writer) error {
 	for i, d := range deltas {
 		dLabels[i] = fmt.Sprintf("%gs", d)
 	}
-	if err := sweep(cfg, w, "Delta", dLabels, func(vi int, seed int64) core.Options {
+	if err := sweep(ctx, cfg, w, "Delta", dLabels, func(vi int, seed int64) core.Options {
 		return core.Options{City: city, NumDrivers: cfg.Drivers(1000), Delta: deltas[vi], Seed: seed}
 	}, ss, servedMetric, "served orders"); err != nil {
 		return err
@@ -246,7 +247,7 @@ func runFig13(cfg Config, w io.Writer) error {
 		tLabels[i] = fmt.Sprintf("%gs", tau)
 		cities[i] = cfg.city(tau)
 	}
-	return sweep(cfg, w, "tau", tLabels, func(vi int, seed int64) core.Options {
+	return sweep(ctx, cfg, w, "tau", tLabels, func(vi int, seed int64) core.Options {
 		return core.Options{City: cities[vi], NumDrivers: cfg.Drivers(1000), Seed: seed}
 	}, ss, servedMetric, "served orders")
 }
@@ -254,7 +255,7 @@ func runFig13(cfg Config, w io.Writer) error {
 // densityRamp maps a normalized density to an ASCII shade.
 const densityRamp = " .:-=+*#%@"
 
-func runFig5(cfg Config, w io.Writer) error {
+func runFig5(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	rng := rand.New(rand.NewSource(cfg.CitySeed))
@@ -290,7 +291,7 @@ func runFig5(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runFig6(cfg Config, w io.Writer) error {
+func runFig6(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	type agg struct {
@@ -305,7 +306,7 @@ func runFig6(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		m, err := runner.Run(d, core.PredictOracle, nil)
+		m, err := runner.Run(ctx, d, core.PredictOracle, nil)
 		if err != nil {
 			return err
 		}
@@ -366,7 +367,7 @@ func correlation(a, b []float64) float64 {
 
 // runHistogram renders Figures 11/12: observed vs expected per-minute
 // count distributions in the two test regions at 7 and 8 AM.
-func runHistogram(cfg Config, w io.Writer, dropoffs bool) error {
+func runHistogram(ctx context.Context, cfg Config, w io.Writer, dropoffs bool) error {
 	cfg = cfg.withDefaults()
 	cfg.Scale = 1.0 // sampling only, no simulation; match the paper's volume
 	city := cfg.city(120)
@@ -397,8 +398,12 @@ func runHistogram(cfg Config, w io.Writer, dropoffs bool) error {
 	return nil
 }
 
-func runFig11(cfg Config, w io.Writer) error { return runHistogram(cfg, w, false) }
-func runFig12(cfg Config, w io.Writer) error { return runHistogram(cfg, w, true) }
+func runFig11(ctx context.Context, cfg Config, w io.Writer) error {
+	return runHistogram(ctx, cfg, w, false)
+}
+func runFig12(ctx context.Context, cfg Config, w io.Writer) error {
+	return runHistogram(ctx, cfg, w, true)
+}
 
 // statsHistogram buckets samples with an adaptive bin width (the paper
 // uses width 10 at full scale; scaled counts need narrower bins).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -25,7 +26,7 @@ func init() {
 // table3DriverSteps mirrors the paper's 1K-8K sweep.
 var table3DriverSteps = []int{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000}
 
-func runTable3(cfg Config, w io.Writer) error {
+func runTable3(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -40,7 +41,7 @@ func runTable3(cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			m, err := runner.Run(d, core.PredictOracle, nil)
+			m, err := runner.Run(ctx, d, core.PredictOracle, nil)
 			if err != nil {
 				return err
 			}
@@ -93,7 +94,7 @@ func table4Predictors(seed int64) []struct {
 	}
 }
 
-func runTable4(cfg Config, w io.Writer) error {
+func runTable4(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	algs := []string{"IRG", "LS", "POLAR"}
@@ -117,7 +118,7 @@ func runTable4(cfg Config, w io.Writer) error {
 				if err != nil {
 					return err
 				}
-				m, err := runner.Run(d, col.mode, col.model)
+				m, err := runner.Run(ctx, d, col.mode, col.model)
 				if err != nil {
 					return err
 				}
@@ -142,7 +143,7 @@ func runTable4(cfg Config, w io.Writer) error {
 	return tw.Flush()
 }
 
-func runTable6(cfg Config, w io.Writer) error {
+func runTable6(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	city := cfg.city(120)
 	days := predict.MinLookbackDays + 28
@@ -225,13 +226,13 @@ func runChiSquareTable(cfg Config, w io.Writer, sampler func(city *workload.City
 	return tw.Flush()
 }
 
-func runTable7(cfg Config, w io.Writer) error {
+func runTable7(ctx context.Context, cfg Config, w io.Writer) error {
 	return runChiSquareTable(cfg, w, func(c *workload.City, day, start, minutes, region int, rng *rand.Rand) []int {
 		return c.PerMinuteCounts(day, start, minutes, region, rng)
 	})
 }
 
-func runTable8(cfg Config, w io.Writer) error {
+func runTable8(ctx context.Context, cfg Config, w io.Writer) error {
 	return runChiSquareTable(cfg, w, func(c *workload.City, day, start, minutes, region int, rng *rand.Rand) []int {
 		return c.PerMinuteDropoffCounts(day, start, minutes, region, rng)
 	})

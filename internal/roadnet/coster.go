@@ -1,6 +1,8 @@
 package roadnet
 
 import (
+	"sync"
+
 	"math"
 	"sort"
 
@@ -62,10 +64,12 @@ func (c *GreatCircleCoster) Cost(a, b geo.Point) float64 {
 // snapping endpoints to their nearest graph nodes via a bucketed index.
 // Queries memoize per-source shortest-path trees up to CacheSize sources
 // (LRU-free: the cache is simply reset when full, which is fine for the
-// batched access pattern where consecutive queries share sources).
+// batched access pattern where consecutive queries share sources). It is
+// safe for concurrent use, so one coster can back a parallel Sweep.
 type GraphCoster struct {
 	g         *Graph
 	snap      *snapIndex
+	mu        sync.Mutex
 	cache     map[NodeID][]float64
 	CacheSize int
 	// ApproachSpeedMPS prices the off-network legs between the query
@@ -93,13 +97,19 @@ func (c *GraphCoster) Cost(a, b geo.Point) float64 {
 	if na == InvalidNode || nb == InvalidNode {
 		return math.Inf(1)
 	}
+	c.mu.Lock()
 	tree, ok := c.cache[na]
+	c.mu.Unlock()
 	if !ok {
+		// Compute outside the lock: trees are deterministic, so a racing
+		// duplicate computation is wasted work, not wrong work.
+		tree = c.g.ShortestPathTree(na)
+		c.mu.Lock()
 		if len(c.cache) >= c.CacheSize {
 			c.cache = make(map[NodeID][]float64)
 		}
-		tree = c.g.ShortestPathTree(na)
 		c.cache[na] = tree
+		c.mu.Unlock()
 	}
 	d := tree[nb]
 	if math.IsInf(d, 1) {

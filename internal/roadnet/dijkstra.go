@@ -13,11 +13,11 @@ type pqItem struct {
 
 type priorityQueue []pqItem
 
-func (q priorityQueue) Len() int            { return len(q) }
-func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *priorityQueue) Pop() interface{} {
+func (q priorityQueue) Len() int           { return len(q) }
+func (q priorityQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() any {
 	old := *q
 	n := len(old)
 	item := old[n-1]

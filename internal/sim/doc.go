@@ -11,4 +11,11 @@
 // the platform and the next assignment — the quantity Section 4's
 // queueing model estimates) and per-batch wall-clock timings, which feed
 // Tables 3 and Figures 7-10.
+//
+// Orders reach the engine through the OrderSource interface: SliceSource
+// replays a fixed trace (the experiment setup) and ChannelSource accepts
+// live Submit-driven ingestion from concurrent producers. Runs take a
+// context.Context for cancellation and deadlines, and an optional
+// Observer streams lifecycle events (batch starts, assignments,
+// expiries, repositions) as they happen.
 package sim

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,6 +47,22 @@ type Config struct {
 	// RepositionAfter is the idle time in seconds before a driver is
 	// offered to the Repositioner (default 300 when one is set).
 	RepositionAfter float64
+	// Observer, when set, receives lifecycle events (batch boundaries,
+	// assignments, reneges, repositions) as they happen.
+	Observer Observer
+	// StopWhenDrained ends the run before the horizon once the order
+	// source is exhausted, no rider is waiting and no driver is busy —
+	// the natural exit for live ChannelSource serving. The default keeps
+	// the paper's fixed-horizon batch count.
+	StopWhenDrained bool
+	// PaceFactor paces the batch loop against the wall clock: the
+	// simulation advances at most PaceFactor simulated seconds per wall
+	// second (1 = real time). This is what lets wall-clock producers
+	// drive a live ChannelSource — without pacing the engine free-runs
+	// thousands of times faster than real time, so concurrently
+	// submitted orders would arrive with their deadlines already in the
+	// engine's past. 0 (the default) free-runs.
+	PaceFactor float64
 }
 
 // Repositioner proposes cruise targets for idle drivers. Returning
@@ -97,11 +114,11 @@ type completion struct {
 	driver DriverID
 }
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].freeAt < h[j].freeAt }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].freeAt < h[j].freeAt }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]
@@ -109,17 +126,18 @@ func (h *completionHeap) Pop() interface{} {
 	return it
 }
 
-// Engine runs one simulation. Build with New; Run executes once.
+// Engine runs one simulation. Build with New (fixed trace) or
+// NewWithSource (streaming orders); Run executes once.
 type Engine struct {
 	cfg     Config
-	orders  []trace.Order
+	src     OrderSource
+	srcDone bool
 	drivers []Driver
 
-	idx       *geo.Index // available drivers
-	busy      completionHeap
-	waiting   []*Rider
-	riders    []Rider
-	nextOrder int
+	idx     *geo.Index // available drivers
+	busy    completionHeap
+	waiting []*Rider
+	riders  []*Rider
 
 	// futureRejoin[k] holds sorted completion times of busy drivers whose
 	// destination is region k; pruned as time advances.
@@ -132,18 +150,27 @@ type Engine struct {
 	shifts []Shift
 
 	metrics Metrics
-	ran     bool
+	// sized records whether TotalOrders was fixed upfront by a
+	// SizedSource or is counted per admission.
+	sized bool
+	ran   bool
 }
 
-// New builds a fresh engine over a trace and initial driver positions.
-// Orders are copied and sorted by post time.
+// New builds a fresh engine over a fixed trace and initial driver
+// positions — a convenience for NewWithSource with a SliceSource.
+// Orders are copied, validated and sorted by post time.
 func New(cfg Config, orders []trace.Order, driverStarts []geo.Point) *Engine {
+	return NewWithSource(cfg, NewSliceSource(orders), driverStarts)
+}
+
+// NewWithSource builds a fresh engine that pulls orders from src each
+// batch. Sources implementing SizedSource fix Metrics.TotalOrders to the
+// full trace size upfront; otherwise TotalOrders counts admissions.
+func NewWithSource(cfg Config, src OrderSource, driverStarts []geo.Point) *Engine {
 	cfg = cfg.withDefaults()
-	os := append([]trace.Order(nil), orders...)
-	trace.SortByPostTime(os)
 	e := &Engine{
 		cfg:          cfg,
-		orders:       os,
+		src:          src,
 		idx:          geo.NewIndex(cfg.Grid),
 		futureRejoin: make([][]float64, cfg.Grid.NumRegions()),
 		openIdle:     make(map[DriverID]int),
@@ -154,22 +181,6 @@ func New(cfg Config, orders []trace.Order, driverStarts []geo.Point) *Engine {
 		}
 		e.shifts = cfg.Shifts
 	}
-	e.riders = make([]Rider, len(os))
-	for i, o := range os {
-		// Structurally broken orders (non-finite coordinates, deadlines
-		// before posting) would corrupt region indexing deep inside the
-		// batch loop; reject them at the door. Callers replaying external
-		// traces should pre-validate with trace.Order.Valid.
-		if err := o.Valid(); err != nil {
-			panic(fmt.Sprintf("sim: %v", err))
-		}
-		e.riders[i] = Rider{
-			Order:      o,
-			Status:     WaitingStatus,
-			TripCost:   cfg.Coster.Cost(o.Pickup, o.Dropoff),
-			DestRegion: cfg.Grid.Region(cfg.Grid.Bounds().Clamp(o.Dropoff)),
-		}
-	}
 	e.drivers = make([]Driver, len(driverStarts))
 	for i, p := range driverStarts {
 		e.drivers[i] = Driver{ID: DriverID(i), State: Available, Pos: cfg.Grid.Bounds().Clamp(p), FreeAt: 0}
@@ -179,13 +190,18 @@ func New(cfg Config, orders []trace.Order, driverStarts []geo.Point) *Engine {
 		}
 		e.idx.Insert(int32(i), p)
 	}
-	e.metrics.TotalOrders = len(os)
+	if sized, ok := src.(SizedSource); ok {
+		e.metrics.TotalOrders = sized.TotalOrders()
+		e.sized = true
+	}
 	return e
 }
 
 // Run executes the batch loop with the given dispatcher and returns the
-// collected metrics. An engine is single-use.
-func (e *Engine) Run(d Dispatcher) (*Metrics, error) {
+// collected metrics. The context cancels the run between batches: a
+// canceled or deadline-exceeded run returns the context's error (wrapped
+// — test with errors.Is) and no metrics. An engine is single-use.
+func (e *Engine) Run(ctx context.Context, d Dispatcher) (*Metrics, error) {
 	if e.ran {
 		return nil, errors.New("sim: engine already ran; build a new one")
 	}
@@ -209,44 +225,88 @@ func (e *Engine) Run(d Dispatcher) (*Metrics, error) {
 		e.openIdle[DriverID(i)] = len(e.metrics.IdleRecords) - 1
 	}
 
+	wallStart := time.Now()
 	for now := 0.0; now < e.cfg.Horizon; now += e.cfg.Delta {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run stopped at t=%.0fs: %w", now, err)
+		}
+		if e.cfg.PaceFactor > 0 {
+			target := wallStart.Add(time.Duration(now / e.cfg.PaceFactor * float64(time.Second)))
+			if wait := time.Until(target); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return nil, fmt.Errorf("sim: run stopped at t=%.0fs: %w", now, ctx.Err())
+				case <-t.C:
+				}
+			}
+		}
 		e.admitOrders(now)
 		e.rejoinDrivers(now)
 		e.processShifts(now)
 		e.renegeExpired(now)
+		if e.cfg.StopWhenDrained && e.srcDone && len(e.waiting) == 0 && len(e.busy) == 0 {
+			break
+		}
 
-		ctx := e.buildContext(now)
+		bctx := e.buildContext(now)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnBatchStart(BatchStartEvent{
+				Now:       now,
+				Batch:     e.metrics.Batches,
+				Waiting:   len(bctx.Riders),
+				Available: len(bctx.Drivers),
+			})
+		}
 		// Capture idle estimates for drivers that rejoined since the
 		// last batch (their ledger entries are still estimate-free).
 		if estimator != nil {
 			for id, rec := range e.openIdle {
 				if math.IsNaN(e.metrics.IdleRecords[rec].Estimate) {
 					region, _ := e.idx.RegionOf(int32(id))
-					e.metrics.IdleRecords[rec].Estimate = estimator.EstimateIdle(ctx, region)
+					e.metrics.IdleRecords[rec].Estimate = estimator.EstimateIdle(bctx, region)
 				}
 			}
 		}
 
 		start := time.Now()
-		assignments := d.Assign(ctx)
+		assignments := d.Assign(bctx)
 		e.metrics.BatchSeconds = append(e.metrics.BatchSeconds, time.Since(start).Seconds())
 		e.metrics.Batches++
 
-		if err := e.apply(now, ctx, assignments); err != nil {
+		if err := e.apply(now, bctx, assignments); err != nil {
 			return nil, err
 		}
-		e.reposition(now, ctx)
+		e.reposition(now, bctx)
 	}
 	// Censor ledger entries that never closed.
 	e.closeLedger()
 	return &e.metrics, nil
 }
 
-// admitOrders moves trace orders posted by now into the waiting set.
+// admitOrders pulls newly posted orders from the source into the waiting
+// set. Orders from non-validating custom sources are checked here: a
+// structurally broken order is a programming error and panics, matching
+// New's construction-time check.
 func (e *Engine) admitOrders(now float64) {
-	for e.nextOrder < len(e.orders) && e.orders[e.nextOrder].PostTime <= now {
-		e.waiting = append(e.waiting, &e.riders[e.nextOrder])
-		e.nextOrder++
+	ready, done := e.src.Poll(now)
+	e.srcDone = done
+	for _, o := range ready {
+		if err := o.Valid(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		r := &Rider{
+			Order:      o,
+			Status:     WaitingStatus,
+			TripCost:   e.cfg.Coster.Cost(o.Pickup, o.Dropoff),
+			DestRegion: e.cfg.Grid.Region(e.cfg.Grid.Bounds().Clamp(o.Dropoff)),
+		}
+		e.riders = append(e.riders, r)
+		e.waiting = append(e.waiting, r)
+		if !e.sized {
+			e.metrics.TotalOrders++
+		}
 	}
 }
 
@@ -284,6 +344,9 @@ func (e *Engine) renegeExpired(now float64) {
 		if r.Order.Deadline < now {
 			r.Status = RenegedStatus
 			e.metrics.Reneged++
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.OnExpired(ExpiredEvent{Now: now, Rider: r})
+			}
 			continue
 		}
 		kept = append(kept, r)
@@ -443,6 +506,17 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 		e.metrics.PickupSeconds += pickupCost
 		e.metrics.Served++
 
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnAssigned(AssignedEvent{
+				Now:        now,
+				Rider:      rider,
+				Driver:     drv.ID,
+				PickupCost: pickupCost,
+				Revenue:    trip,
+				FreeAt:     freeAt,
+			})
+		}
+
 		// Remove the rider from the waiting set.
 		for i, w := range e.waiting {
 			if w == rider {
@@ -478,8 +552,9 @@ func (e *Engine) closeLedger() {
 // Drivers exposes final driver states for post-run inspection.
 func (e *Engine) Drivers() []Driver { return e.drivers }
 
-// Riders exposes final rider states for post-run inspection.
-func (e *Engine) Riders() []Rider { return e.riders }
+// Riders exposes final rider states for post-run inspection, in
+// admission order.
+func (e *Engine) Riders() []*Rider { return e.riders }
 
 // processShifts joins drivers whose shift has started and retires
 // available drivers whose shift has ended. Busy drivers finish their
@@ -547,11 +622,18 @@ func (e *Engine) reposition(now float64, ctx *Context) {
 		// The cruise censors the driver's running idle entry; arrival
 		// opens a fresh one through the normal rejoin path.
 		delete(e.openIdle, DriverID(i))
+		from := d.Pos
 		d.State = Busy
 		d.Pos = target
 		d.FreeAt = now + cost
 		e.idx.Remove(int32(i))
 		heap.Push(&e.busy, completion{freeAt: d.FreeAt, driver: DriverID(i)})
 		e.insertFutureRejoin(e.cfg.Grid.Region(target), d.FreeAt)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnRepositioned(RepositionedEvent{
+				Now: now, Driver: DriverID(i), From: from, To: target,
+				Cost: cost, ArriveAt: d.FreeAt,
+			})
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestEngineServesReachableOrder(t *testing.T) {
 		Deadline: 130,
 	}}
 	e := New(simpleConfig(), orders, []geo.Point{offset(pickup, 400)})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestEngineRenegesUnreachableOrder(t *testing.T) {
 		Deadline: 70,
 	}}
 	e := New(simpleConfig(), orders, []geo.Point{offset(pickup, 10000)})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestEngineRenegesWithNoopDispatcher(t *testing.T) {
 		{ID: 1, PostTime: 7, Pickup: pickup, Dropoff: offset(pickup, 900), Deadline: 150},
 	}
 	e := New(simpleConfig(), orders, []geo.Point{pickup})
-	m, err := e.Run(noop{})
+	m, err := e.Run(context.Background(), noop{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestEngineBusyDriverRejoinsAndServesAgain(t *testing.T) {
 		{ID: 1, PostTime: 400, Pickup: offset(drop1, 200), Dropoff: offset(drop1, 2000), Deadline: 520},
 	}
 	e := New(simpleConfig(), orders, []geo.Point{pickup})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestEngineIdleLedgerRealizedValues(t *testing.T) {
 		Dropoff: offset(pickup, 800), Deadline: 220,
 	}}
 	e := New(simpleConfig(), orders, []geo.Point{pickup})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestEngineRejectsInvalidAssignments(t *testing.T) {
 		})},
 	}
 	for _, c := range cases {
-		if _, err := mk().Run(c.d); err == nil {
+		if _, err := mk().Run(context.Background(), c.d); err == nil {
 			t.Errorf("%s: engine accepted invalid assignment", c.name)
 		}
 	}
@@ -237,7 +238,7 @@ func TestEngineRejectsDeadlineViolation(t *testing.T) {
 	// Driver 5km away cannot make a 40s deadline, but a malicious
 	// dispatcher assigns it anyway by fabricating the pair.
 	e := New(simpleConfig(), orders, []geo.Point{offset(pickup, 5000)})
-	_, err := e.Run(funcDispatcher(func(ctx *Context) []Assignment {
+	_, err := e.Run(context.Background(), funcDispatcher(func(ctx *Context) []Assignment {
 		if len(ctx.Riders) == 0 || len(ctx.Drivers) == 0 {
 			return nil
 		}
@@ -256,7 +257,7 @@ func TestEngineIgnorePickupServesInstantly(t *testing.T) {
 	}}
 	// Driver far away; only IgnorePickup can serve this.
 	e := New(simpleConfig(), orders, []geo.Point{offset(pickup, 20000)})
-	m, err := e.Run(funcDispatcher(func(ctx *Context) []Assignment {
+	m, err := e.Run(context.Background(), funcDispatcher(func(ctx *Context) []Assignment {
 		if len(ctx.Riders) == 0 || len(ctx.Drivers) == 0 {
 			return nil
 		}
@@ -275,10 +276,10 @@ func TestEngineIgnorePickupServesInstantly(t *testing.T) {
 
 func TestEngineSingleUse(t *testing.T) {
 	e := New(simpleConfig(), nil, []geo.Point{center()})
-	if _, err := e.Run(noop{}); err != nil {
+	if _, err := e.Run(context.Background(), noop{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(noop{}); err == nil {
+	if _, err := e.Run(context.Background(), noop{}); err == nil {
 		t.Error("second Run accepted")
 	}
 }
@@ -293,7 +294,7 @@ func TestEnginePredictedDriversCountsFutureRejoins(t *testing.T) {
 	grid := geo.NewNYCGrid()
 	destRegion := grid.Region(drop)
 	e := New(simpleConfig(), orders, []geo.Point{pickup})
-	_, err := e.Run(funcDispatcher(func(ctx *Context) []Assignment {
+	_, err := e.Run(context.Background(), funcDispatcher(func(ctx *Context) []Assignment {
 		if ctx.Now > 10 && ctx.Now < 400 {
 			if ctx.PredictedDrivers[destRegion] > 0 {
 				sawFuture = true
@@ -326,7 +327,7 @@ func TestEngineOutcomeAccounting(t *testing.T) {
 		})
 	}
 	e := New(simpleConfig(), orders, []geo.Point{pickup, offset(pickup, 2000)})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,11 +358,11 @@ func TestEngineDeterministic(t *testing.T) {
 		})
 	}
 	starts := []geo.Point{pickup, offset(pickup, 1000), offset(pickup, 3000)}
-	m1, err := New(simpleConfig(), orders, starts).Run(takeAll{})
+	m1, err := New(simpleConfig(), orders, starts).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := New(simpleConfig(), orders, starts).Run(takeAll{})
+	m2, err := New(simpleConfig(), orders, starts).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}

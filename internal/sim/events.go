@@ -1,0 +1,124 @@
+package sim
+
+import "mrvd/internal/geo"
+
+// Observer receives engine lifecycle events as they happen, so metrics
+// exporters, live dashboards and replay logs can subscribe to a run
+// instead of scraping Metrics after the fact. Callbacks run inline on
+// the engine goroutine between batches: they must be fast and must not
+// retain the *Rider/*Driver pointers beyond the call if the run is still
+// in progress (the engine keeps mutating them).
+type Observer interface {
+	// OnBatchStart fires once per batch, after order admission and
+	// reneging but before the dispatcher runs.
+	OnBatchStart(e BatchStartEvent)
+	// OnAssigned fires for every committed (rider, driver) assignment.
+	OnAssigned(e AssignedEvent)
+	// OnExpired fires when a waiting rider reneges past its deadline.
+	OnExpired(e ExpiredEvent)
+	// OnRepositioned fires when an idle driver starts a cruise proposed
+	// by the configured Repositioner.
+	OnRepositioned(e RepositionedEvent)
+}
+
+// BatchStartEvent snapshots a batch boundary.
+type BatchStartEvent struct {
+	Now       float64
+	Batch     int // 0-based batch index
+	Waiting   int // riders in the waiting set
+	Available int // assignable drivers
+}
+
+// AssignedEvent records one committed assignment.
+type AssignedEvent struct {
+	Now        float64
+	Rider      *Rider
+	Driver     DriverID
+	PickupCost float64 // seconds of deadhead travel to the pickup
+	Revenue    float64 // the trip cost, the pair's revenue at alpha=1
+	FreeAt     float64 // when the driver completes the trip
+}
+
+// ExpiredEvent records one rider reneging.
+type ExpiredEvent struct {
+	Now   float64
+	Rider *Rider
+}
+
+// RepositionedEvent records one idle-driver cruise.
+type RepositionedEvent struct {
+	Now      float64
+	Driver   DriverID
+	From     geo.Point
+	To       geo.Point
+	Cost     float64 // travel seconds of the cruise
+	ArriveAt float64 // when the driver becomes assignable at To
+}
+
+// Observers fans events out to several observers in order.
+type Observers []Observer
+
+// OnBatchStart implements Observer.
+func (os Observers) OnBatchStart(e BatchStartEvent) {
+	for _, o := range os {
+		o.OnBatchStart(e)
+	}
+}
+
+// OnAssigned implements Observer.
+func (os Observers) OnAssigned(e AssignedEvent) {
+	for _, o := range os {
+		o.OnAssigned(e)
+	}
+}
+
+// OnExpired implements Observer.
+func (os Observers) OnExpired(e ExpiredEvent) {
+	for _, o := range os {
+		o.OnExpired(e)
+	}
+}
+
+// OnRepositioned implements Observer.
+func (os Observers) OnRepositioned(e RepositionedEvent) {
+	for _, o := range os {
+		o.OnRepositioned(e)
+	}
+}
+
+// ObserverFuncs adapts free functions to Observer; nil fields are
+// skipped, so callers subscribe to only the events they care about.
+type ObserverFuncs struct {
+	BatchStart   func(BatchStartEvent)
+	Assigned     func(AssignedEvent)
+	Expired      func(ExpiredEvent)
+	Repositioned func(RepositionedEvent)
+}
+
+// OnBatchStart implements Observer.
+func (f ObserverFuncs) OnBatchStart(e BatchStartEvent) {
+	if f.BatchStart != nil {
+		f.BatchStart(e)
+	}
+}
+
+// OnAssigned implements Observer.
+func (f ObserverFuncs) OnAssigned(e AssignedEvent) {
+	if f.Assigned != nil {
+		f.Assigned(e)
+	}
+}
+
+// OnExpired implements Observer.
+func (f ObserverFuncs) OnExpired(e ExpiredEvent) {
+	if f.Expired != nil {
+		f.Expired(e)
+	}
+}
+
+// OnRepositioned implements Observer.
+func (f ObserverFuncs) OnRepositioned(e RepositionedEvent) {
+	if f.Repositioned != nil {
+		f.Repositioned(e)
+	}
+}

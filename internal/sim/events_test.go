@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/trace"
+)
+
+// recordingObserver counts events and cross-checks them against the
+// final Metrics.
+type recordingObserver struct {
+	batches, assigned, expired, repositioned int
+	revenue                                  float64
+	lastNow                                  float64
+}
+
+func (r *recordingObserver) OnBatchStart(e BatchStartEvent) {
+	if e.Now < r.lastNow {
+		panic("batch time went backwards")
+	}
+	r.lastNow = e.Now
+	r.batches++
+}
+func (r *recordingObserver) OnAssigned(e AssignedEvent) {
+	r.assigned++
+	r.revenue += e.Revenue
+}
+func (r *recordingObserver) OnExpired(e ExpiredEvent)           { r.expired++ }
+func (r *recordingObserver) OnRepositioned(e RepositionedEvent) { r.repositioned++ }
+
+func TestObserverEventsMatchMetrics(t *testing.T) {
+	orders := []trace.Order{
+		mkOrder(0, 5, 300),
+		mkOrder(1, 10, 320),
+		mkOrder(2, 15, 16), // expires almost immediately: no driver nearby in time
+	}
+	rec := &recordingObserver{}
+	cfg := simpleConfig()
+	cfg.Observer = rec
+	e := New(cfg, orders, []geo.Point{center(), offset(center(), 600)})
+	m, err := e.Run(context.Background(), takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.batches != m.Batches {
+		t.Errorf("observer saw %d batches, metrics say %d", rec.batches, m.Batches)
+	}
+	if rec.assigned != m.Served {
+		t.Errorf("observer saw %d assignments, metrics say %d served", rec.assigned, m.Served)
+	}
+	if rec.expired != m.Reneged {
+		t.Errorf("observer saw %d expiries, metrics say %d reneged", rec.expired, m.Reneged)
+	}
+	if rec.revenue != m.Revenue {
+		t.Errorf("observer revenue %v != metrics %v", rec.revenue, m.Revenue)
+	}
+}
+
+func TestObserverRepositionEvents(t *testing.T) {
+	orders := []trace.Order{mkOrder(0, 5, 300)}
+	rec := &recordingObserver{}
+	cfg := simpleConfig()
+	cfg.Observer = rec
+	cfg.Repositioner = alwaysEast{}
+	cfg.RepositionAfter = 60
+	e := New(cfg, orders, []geo.Point{center()})
+	if _, err := e.Run(context.Background(), noop{}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.repositioned == 0 {
+		t.Error("no reposition events observed")
+	}
+}
+
+// alwaysEast proposes a fixed eastward cruise.
+type alwaysEast struct{}
+
+func (alwaysEast) Target(ctx *Context, d *Driver, region geo.RegionID) (geo.Point, bool) {
+	return offset(d.Pos, 2000), true
+}
+
+func TestObserverFuncsAndFanOut(t *testing.T) {
+	var starts, assigns int
+	funcs := ObserverFuncs{
+		BatchStart: func(BatchStartEvent) { starts++ },
+		Assigned:   func(AssignedEvent) { assigns++ },
+		// Expired/Repositioned left nil: must be skipped, not crash.
+	}
+	rec := &recordingObserver{}
+	cfg := simpleConfig()
+	cfg.Observer = Observers{funcs, rec}
+	orders := []trace.Order{mkOrder(0, 5, 300), mkOrder(1, 6, 7)}
+	e := New(cfg, orders, []geo.Point{center()})
+	m, err := e.Run(context.Background(), takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starts != m.Batches || starts != rec.batches {
+		t.Errorf("fan-out mismatch: funcs=%d rec=%d metrics=%d", starts, rec.batches, m.Batches)
+	}
+	if assigns != rec.assigned {
+		t.Errorf("assigned fan-out mismatch: %d vs %d", assigns, rec.assigned)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -92,7 +93,7 @@ func TestSimulationInvariantsUnderRandomScenarios(t *testing.T) {
 		orders, drivers := randomScenario(rng)
 		cfg := Config{Delta: 5, TC: 600, Horizon: 4000}
 		e := New(cfg, orders, drivers)
-		m, err := e.Run(takeAll{})
+		m, err := e.Run(context.Background(), takeAll{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -117,7 +118,7 @@ func TestSimulationInvariantsWithRepositioningAndShifts(t *testing.T) {
 			RepositionAfter: 120,
 		}
 		e := New(cfg, orders, drivers)
-		m, err := e.Run(takeAll{})
+		m, err := e.Run(context.Background(), takeAll{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -157,7 +158,7 @@ func TestSimulationInvariantsAcrossDispatcherStyles(t *testing.T) {
 	}
 	for i, d := range dispatchers {
 		e := New(Config{Delta: 5, TC: 600, Horizon: 4000}, orders, drivers)
-		m, err := e.Run(d)
+		m, err := e.Run(context.Background(), d)
 		if err != nil {
 			t.Fatalf("dispatcher %d: %v", i, err)
 		}

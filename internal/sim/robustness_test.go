@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestEngineZeroDrivers(t *testing.T) {
 	orders := []trace.Order{
 		{ID: 0, PostTime: 1, Pickup: pickup, Dropoff: offset(pickup, 500), Deadline: 100},
 	}
-	m, err := New(simpleConfig(), orders, nil).Run(takeAll{})
+	m, err := New(simpleConfig(), orders, nil).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestEngineZeroDrivers(t *testing.T) {
 }
 
 func TestEngineEmptyTrace(t *testing.T) {
-	m, err := New(simpleConfig(), nil, []geo.Point{center()}).Run(takeAll{})
+	m, err := New(simpleConfig(), nil, []geo.Point{center()}).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestEngineOrdersOutsideGrid(t *testing.T) {
 		{ID: 0, PostTime: 1, Pickup: geo.Point{Lng: -80, Lat: 45},
 			Dropoff: geo.Point{Lng: -70, Lat: 39}, Deadline: 2000},
 	}
-	m, err := New(simpleConfig(), orders, []geo.Point{center()}).Run(takeAll{})
+	m, err := New(simpleConfig(), orders, []geo.Point{center()}).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestEngineInfiniteCostsServeNothing(t *testing.T) {
 	}
 	cfg := simpleConfig()
 	cfg.Coster = infCoster{}
-	m, err := New(cfg, orders, []geo.Point{pickup}).Run(takeAll{})
+	m, err := New(cfg, orders, []geo.Point{pickup}).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEngineZeroPatienceOrder(t *testing.T) {
 		// and only if a batch fires at exactly the right instant.
 		{ID: 0, PostTime: 1, Pickup: pickup, Dropoff: offset(pickup, 500), Deadline: 1},
 	}
-	m, err := New(simpleConfig(), orders, []geo.Point{offset(pickup, 3000)}).Run(takeAll{})
+	m, err := New(simpleConfig(), orders, []geo.Point{offset(pickup, 3000)}).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestEngineGraphCosterEndToEnd(t *testing.T) {
 	gc := roadnet.NewGraphCoster(g)
 	gc.ApproachSpeedMPS = 8 // curb legs priced at driving speed for this test
 	cfg.Coster = gc
-	m, err := New(cfg, orders, []geo.Point{pickup, offset(pickup, 1000)}).Run(takeAll{})
+	m, err := New(cfg, orders, []geo.Point{pickup, offset(pickup, 1000)}).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestEngineManyOrdersOneBatch(t *testing.T) {
 		})
 	}
 	starts := []geo.Point{pickup, offset(pickup, 100), offset(pickup, 200)}
-	m, err := New(simpleConfig(), orders, starts).Run(takeAll{})
+	m, err := New(simpleConfig(), orders, starts).Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}

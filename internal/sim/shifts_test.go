@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"mrvd/internal/geo"
@@ -18,7 +19,7 @@ func TestShiftDriverJoinsLate(t *testing.T) {
 	cfg := simpleConfig()
 	cfg.Shifts = []Shift{{JoinAt: 600}}
 	e := New(cfg, orders, []geo.Point{pickup})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestShiftDriverLeaves(t *testing.T) {
 	cfg := simpleConfig()
 	cfg.Shifts = []Shift{{LeaveAt: 500}}
 	e := New(cfg, orders, []geo.Point{pickup})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestShiftBusyDriverFinishesTripThenLeaves(t *testing.T) {
 	cfg := simpleConfig()
 	cfg.Shifts = []Shift{{LeaveAt: 200}}
 	e := New(cfg, orders, []geo.Point{pickup})
-	m, err := e.Run(takeAll{})
+	m, err := e.Run(context.Background(), takeAll{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRepositionMovesIdleDriver(t *testing.T) {
 	cfg.Repositioner = policy
 	cfg.RepositionAfter = 60
 	e := New(cfg, nil, []geo.Point{pickup})
-	if _, err := e.Run(noop{}); err != nil {
+	if _, err := e.Run(context.Background(), noop{}); err != nil {
 		t.Fatal(err)
 	}
 	if policy.moved != 1 {
@@ -137,7 +138,7 @@ func TestRepositionedDriverServesAtTarget(t *testing.T) {
 		cfg := simpleConfig()
 		cfg.Repositioner = repo
 		cfg.RepositionAfter = 60
-		m, err := New(cfg, orders, []geo.Point{pickup}).Run(takeAll{})
+		m, err := New(cfg, orders, []geo.Point{pickup}).Run(context.Background(), takeAll{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"mrvd/internal/trace"
+)
+
+// OrderSource feeds orders to the engine incrementally, decoupling where
+// orders come from (a recorded trace, a live request stream, a replayed
+// production log) from the batch loop that dispatches them.
+//
+// Poll is called once per batch with the current simulation time. It
+// must return every not-yet-delivered order whose PostTime is at or
+// before now, in ascending PostTime order, and report done=true once no
+// further orders will ever be produced (delivered or pending). Poll is
+// only ever called from the engine's goroutine; implementations that
+// accept orders from other goroutines (ChannelSource) must synchronize
+// internally.
+type OrderSource interface {
+	Poll(now float64) (ready []trace.Order, done bool)
+}
+
+// SizedSource is an optional OrderSource extension for sources that know
+// their total order count upfront. The engine uses it to report
+// Metrics.TotalOrders for the whole trace rather than only the admitted
+// prefix, preserving the batch-replay accounting of the paper's setup.
+type SizedSource interface {
+	OrderSource
+	TotalOrders() int
+}
+
+// SliceSource replays a fixed in-memory trace — the classic experiment
+// setup. It validates and sorts the orders once at construction.
+type SliceSource struct {
+	orders []trace.Order
+	next   int
+}
+
+// NewSliceSource copies, validates and sorts a trace by post time.
+// Structurally broken orders (non-finite coordinates, deadlines before
+// posting) would corrupt region indexing deep inside the batch loop, so
+// they are rejected at the door with a panic; callers replaying external
+// traces should pre-validate with trace.Order.Valid.
+func NewSliceSource(orders []trace.Order) *SliceSource {
+	os := append([]trace.Order(nil), orders...)
+	for _, o := range os {
+		if err := o.Valid(); err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+	}
+	trace.SortByPostTime(os)
+	return &SliceSource{orders: os}
+}
+
+// Poll implements OrderSource.
+func (s *SliceSource) Poll(now float64) ([]trace.Order, bool) {
+	start := s.next
+	for s.next < len(s.orders) && s.orders[s.next].PostTime <= now {
+		s.next++
+	}
+	return s.orders[start:s.next], s.next == len(s.orders)
+}
+
+// TotalOrders implements SizedSource.
+func (s *SliceSource) TotalOrders() int { return len(s.orders) }
+
+// ChannelSource accepts orders from concurrent producers for live,
+// Submit-driven dispatch. Producers call Submit as requests arrive and
+// Close when the stream ends; the engine drains ready orders each batch.
+//
+// Orders may be submitted in any PostTime order: the source buffers them
+// and releases each once the engine's clock reaches its PostTime, in
+// ascending PostTime order (ties release in submission order). An order
+// submitted with a PostTime already in the past is released at the next
+// batch — its remaining patience is whatever is left of
+// Deadline - engine time, so producers should stamp PostTime near the
+// engine's clock. For producers stamping off the wall clock that means
+// the engine must be paced (Config.PaceFactor / mrvd.WithPace): a
+// free-running simulation burns through hours of simulated time per
+// wall second and would expire wall-clock-stamped orders on arrival.
+// Deterministic feeds can instead gate submissions on the engine clock
+// from an Observer callback (see examples/livedispatch).
+type ChannelSource struct {
+	mu     sync.Mutex
+	heap   submissionHeap
+	seq    int64
+	closed bool
+}
+
+// NewChannelSource returns an empty, open source.
+func NewChannelSource() *ChannelSource { return &ChannelSource{} }
+
+// Submit enqueues one order. It is safe for concurrent use, validates
+// the order, and fails after Close rather than panicking — a live
+// ingestion edge must reject bad requests, not crash the engine.
+func (c *ChannelSource) Submit(o trace.Order) error {
+	if err := o.Valid(); err != nil {
+		return fmt.Errorf("sim: submit: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("sim: submit order %d: source closed", o.ID)
+	}
+	c.heap.push(submission{order: o, seq: c.seq})
+	c.seq++
+	return nil
+}
+
+// Close marks the stream complete. Orders already submitted are still
+// delivered; further Submit calls fail. Close is idempotent.
+func (c *ChannelSource) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// Pending reports how many submitted orders have not been released yet.
+func (c *ChannelSource) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.heap)
+}
+
+// Poll implements OrderSource: it releases every buffered order posted
+// at or before now, in (PostTime, submission) order.
+func (c *ChannelSource) Poll(now float64) ([]trace.Order, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ready []trace.Order
+	for len(c.heap) > 0 && c.heap[0].order.PostTime <= now {
+		ready = append(ready, c.heap.pop().order)
+	}
+	return ready, c.closed && len(c.heap) == 0
+}
+
+// submission is one buffered order with its arrival sequence number,
+// which breaks PostTime ties first-come-first-released.
+type submission struct {
+	order trace.Order
+	seq   int64
+}
+
+// submissionHeap is a hand-rolled binary min-heap on (PostTime, seq); it
+// avoids container/heap's any-boxing on the ingestion hot path.
+type submissionHeap []submission
+
+func (h submissionHeap) less(i, j int) bool {
+	if h[i].order.PostTime != h[j].order.PostTime {
+		return h[i].order.PostTime < h[j].order.PostTime
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *submissionHeap) push(s submission) {
+	*h = append(*h, s)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *submissionHeap) pop() submission {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/trace"
+)
+
+func mkOrder(id int, post, deadline float64) trace.Order {
+	return trace.Order{
+		ID: trace.OrderID(id), PostTime: post,
+		Pickup: center(), Dropoff: offset(center(), 2000),
+		Deadline: deadline,
+	}
+}
+
+func TestSliceSourcePollsInPostTimeOrder(t *testing.T) {
+	src := NewSliceSource([]trace.Order{
+		mkOrder(2, 30, 100), mkOrder(0, 10, 100), mkOrder(1, 20, 100),
+	})
+	if src.TotalOrders() != 3 {
+		t.Fatalf("TotalOrders = %d", src.TotalOrders())
+	}
+	ready, done := src.Poll(25)
+	if len(ready) != 2 || ready[0].ID != 0 || ready[1].ID != 1 || done {
+		t.Fatalf("Poll(25) = %v done=%v", ready, done)
+	}
+	ready, done = src.Poll(25)
+	if len(ready) != 0 || done {
+		t.Fatalf("second Poll(25) re-delivered: %v done=%v", ready, done)
+	}
+	ready, done = src.Poll(1000)
+	if len(ready) != 1 || ready[0].ID != 2 || !done {
+		t.Fatalf("Poll(1000) = %v done=%v", ready, done)
+	}
+}
+
+func TestChannelSourceReleasesInPostTimeOrder(t *testing.T) {
+	src := NewChannelSource()
+	// Submit far out of post-time order, with a tie between 5 and 6.
+	for _, o := range []trace.Order{
+		mkOrder(3, 300, 500), mkOrder(1, 100, 500), mkOrder(2, 200, 500),
+		mkOrder(5, 150, 500), mkOrder(6, 150, 500),
+	} {
+		if err := src.Submit(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ready, done := src.Poll(250)
+	if done {
+		t.Fatal("done before Close")
+	}
+	var ids []int
+	for _, o := range ready {
+		ids = append(ids, int(o.ID))
+	}
+	// PostTime order, submission order breaking the 150 tie.
+	want := []int{1, 5, 6, 2}
+	if len(ids) != len(want) {
+		t.Fatalf("released %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("released %v, want %v", ids, want)
+		}
+	}
+	if src.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", src.Pending())
+	}
+}
+
+func TestChannelSourceClosureSemantics(t *testing.T) {
+	src := NewChannelSource()
+	if err := src.Submit(mkOrder(1, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	src.Close() // idempotent
+
+	// Submit after Close fails; the buffered order is still delivered.
+	if err := src.Submit(mkOrder(2, 20, 100)); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+	// Not yet done: order 1 is still buffered.
+	if ready, done := src.Poll(5); len(ready) != 0 || done {
+		t.Fatalf("Poll(5) = %v done=%v, want empty, not done", ready, done)
+	}
+	ready, done := src.Poll(50)
+	if len(ready) != 1 || ready[0].ID != 1 || !done {
+		t.Fatalf("Poll(50) = %v done=%v, want order 1 and done", ready, done)
+	}
+	if ready, done := src.Poll(60); len(ready) != 0 || !done {
+		t.Fatalf("drained Poll = %v done=%v, want empty and done", ready, done)
+	}
+}
+
+func TestChannelSourceRejectsInvalidOrder(t *testing.T) {
+	src := NewChannelSource()
+	bad := mkOrder(1, 100, 50) // deadline before posting
+	if err := src.Submit(bad); err == nil {
+		t.Fatal("invalid order accepted")
+	}
+	bad = mkOrder(2, 10, 100)
+	bad.Pickup.Lng = math.NaN()
+	if err := src.Submit(bad); err == nil {
+		t.Fatal("NaN-coordinate order accepted")
+	}
+}
+
+func TestChannelSourceConcurrentSubmit(t *testing.T) {
+	src := NewChannelSource()
+	const producers, perProducer = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				id := p*perProducer + i
+				if err := src.Submit(mkOrder(id, float64(id%97), 1000)); err != nil {
+					t.Error(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	src.Close()
+	ready, done := src.Poll(1000)
+	if len(ready) != producers*perProducer || !done {
+		t.Fatalf("released %d orders done=%v, want %d and done", len(ready), done, producers*perProducer)
+	}
+	for i := 1; i < len(ready); i++ {
+		if ready[i].PostTime < ready[i-1].PostTime {
+			t.Fatalf("release order not sorted at %d: %v after %v", i, ready[i].PostTime, ready[i-1].PostTime)
+		}
+	}
+}
+
+func TestEngineRunsFromChannelSourceAndStopsWhenDrained(t *testing.T) {
+	src := NewChannelSource()
+	for i := 0; i < 5; i++ {
+		if err := src.Submit(mkOrder(i, float64(10*i), 600)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	cfg := simpleConfig()
+	cfg.StopWhenDrained = true
+	cfg.Horizon = 100000
+	starts := []geo.Point{center(), offset(center(), 500)}
+	e := NewWithSource(cfg, src, starts)
+	m, err := e.Run(context.Background(), takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalOrders != 5 {
+		t.Fatalf("TotalOrders = %d, want 5", m.TotalOrders)
+	}
+	if m.Served+m.Reneged != 5 {
+		t.Fatalf("outcomes %d+%d, want 5", m.Served, m.Reneged)
+	}
+	// Drained exit: far fewer batches than the 100000s horizon implies.
+	if float64(m.Batches)*cfg.Delta >= cfg.Horizon {
+		t.Fatalf("engine ran to the horizon (%d batches) despite drain", m.Batches)
+	}
+}
+
+func TestEngineLiveSubmitMidRun(t *testing.T) {
+	// A dispatcher-driven feed: submit a second wave of orders from
+	// inside the run (deterministically, at batch 20) and check they are
+	// admitted and served.
+	src := NewChannelSource()
+	for i := 0; i < 3; i++ {
+		if err := src.Submit(mkOrder(i, 0, 400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := simpleConfig()
+	cfg.StopWhenDrained = true
+	cfg.Horizon = 50000
+	starts := []geo.Point{center(), offset(center(), 400), offset(center(), 800)}
+	e := NewWithSource(cfg, src, starts)
+	fed := false
+	d := funcDispatcher(func(ctx *Context) []Assignment {
+		if !fed && ctx.Now >= 20*cfg.Delta {
+			fed = true
+			for i := 10; i < 13; i++ {
+				if err := src.Submit(mkOrder(i, ctx.Now, ctx.Now+400)); err != nil {
+					t.Error(err)
+				}
+			}
+			src.Close()
+		}
+		return takeAll{}.Assign(ctx)
+	})
+	m, err := e.Run(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalOrders != 6 {
+		t.Fatalf("TotalOrders = %d, want 6", m.TotalOrders)
+	}
+	if m.Served+m.Reneged != 6 {
+		t.Fatalf("outcomes %d+%d, want 6", m.Served, m.Reneged)
+	}
+}
+
+func TestEngineRunContextCancellationMidRun(t *testing.T) {
+	orders := make([]trace.Order, 50)
+	for i := range orders {
+		orders[i] = mkOrder(i, float64(i), 10000)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(simpleConfig(), orders, []geo.Point{center()})
+	batches := 0
+	d := funcDispatcher(func(bctx *Context) []Assignment {
+		batches++
+		if batches == 10 {
+			cancel()
+		}
+		return nil
+	})
+	_, err := e.Run(ctx, d)
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if batches != 10 {
+		t.Fatalf("ran %d batches after cancel, want exactly 10", batches)
+	}
+}
+
+func TestEngineRunPacedAgainstWallClock(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.Delta = 5
+	cfg.Horizon = 50
+	cfg.PaceFactor = 100 // 10 batches x 0.05s wall each
+	e := New(cfg, nil, []geo.Point{center()})
+	start := time.Now()
+	m, err := e.Run(context.Background(), noop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if m.Batches != 10 {
+		t.Fatalf("batches = %d, want 10", m.Batches)
+	}
+	// 45 simulated seconds of pacing at 100x => >= ~450ms of wall time
+	// (generous lower bound for timer slop).
+	if elapsed < 350*time.Millisecond {
+		t.Errorf("paced run finished in %v; pacing not applied", elapsed)
+	}
+}
+
+func TestEngineRunPacingHonorsCancellation(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.PaceFactor = 0.001 // one batch ~= 50 minutes of wall time
+	e := New(cfg, nil, []geo.Point{center()})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.Run(ctx, noop{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation during pacing wait took %v", elapsed)
+	}
+}
+
+func TestEngineRunDeadlineAlreadyExpired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(simpleConfig(), nil, []geo.Point{center()})
+	if _, err := e.Run(ctx, noop{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -119,6 +119,50 @@ type Metrics struct {
 	PickupSeconds float64
 }
 
+// Summary is the deterministic projection of Metrics: every field a
+// repeated run with the same instance and dispatcher reproduces exactly,
+// excluding wall-clock timings. Two runs of the same point — sequential
+// or parallel, in any order — must produce identical Summaries, which is
+// what Sweep's determinism contract is checked against.
+type Summary struct {
+	Revenue       float64
+	Served        int
+	Reneged       int
+	TotalOrders   int
+	Batches       int
+	PickupSeconds float64
+	// IdleClosed counts closed idle-ledger entries; IdleSeconds sums
+	// their realized idle times.
+	IdleClosed  int
+	IdleSeconds float64
+}
+
+// Summary projects the run's deterministic outcomes.
+func (m *Metrics) Summary() Summary {
+	s := Summary{
+		Revenue:       m.Revenue,
+		Served:        m.Served,
+		Reneged:       m.Reneged,
+		TotalOrders:   m.TotalOrders,
+		Batches:       m.Batches,
+		PickupSeconds: m.PickupSeconds,
+	}
+	for _, rec := range m.IdleRecords {
+		s.IdleClosed++
+		s.IdleSeconds += rec.Realized
+	}
+	return s
+}
+
+// MeanIdleSeconds returns the mean realized idle time over closed
+// ledger entries, 0 when none closed.
+func (s Summary) MeanIdleSeconds() float64 {
+	if s.IdleClosed == 0 {
+		return 0
+	}
+	return s.IdleSeconds / float64(s.IdleClosed)
+}
+
 // AvgBatchSeconds returns the mean dispatcher wall time per batch.
 func (m *Metrics) AvgBatchSeconds() float64 {
 	if len(m.BatchSeconds) == 0 {

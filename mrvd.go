@@ -10,15 +10,21 @@
 // that yields a closed-form expected driver idle time, which the IRG and
 // LS batch dispatchers use to prioritize (rider, driver) pairs.
 //
-// Quick start:
+// Quick start — one simulated day under the paper's local search:
 //
 //	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 28000, Seed: 1})
-//	runner := mrvd.NewRunner(mrvd.Options{City: city, NumDrivers: 100})
-//	ls, _ := mrvd.NewDispatcher("LS", 0)
-//	metrics, err := runner.Run(ls, mrvd.PredictOracle, nil)
+//	svc := mrvd.NewService(mrvd.WithCity(city), mrvd.WithFleet(100))
+//	metrics, err := svc.Run(context.Background(), "LS")
 //
-// See examples/ for runnable scenarios and cmd/mrvd-bench for the
-// harness regenerating every table and figure of the paper.
+// The Service API is streaming and context-aware: orders can arrive
+// live through a ChannelSource (svc.Serve), runs cancel through their
+// context, per-event observers subscribe with WithObserver, and
+// svc.Sweep executes (algorithm × seed × fleet) grids on a parallel
+// worker pool with deterministic results.
+//
+// See examples/ for runnable scenarios (examples/livedispatch streams
+// orders into a running engine) and cmd/mrvd-bench for the harness
+// regenerating every table and figure of the paper.
 package mrvd
 
 import (
@@ -55,6 +61,8 @@ type (
 	Hotspot = workload.Hotspot
 	// Order is one ride request (rider r_i with deadline tau_i).
 	Order = trace.Order
+	// OrderID names one order.
+	OrderID = trace.OrderID
 )
 
 // Simulation and dispatch types.
@@ -63,17 +71,53 @@ type (
 	Dispatcher = sim.Dispatcher
 	// Metrics aggregates one simulated day.
 	Metrics = sim.Metrics
-	// SimConfig parameterizes a raw simulation (most callers use Runner).
+	// Summary is the deterministic projection of Metrics (no wall-clock
+	// fields) — the unit of Sweep's reproducibility contract.
+	Summary = sim.Summary
+	// SimConfig parameterizes a raw simulation (most callers use Service).
 	SimConfig = sim.Config
 	// Coster prices travel between two points in seconds.
 	Coster = roadnet.Coster
+	// Repositioner proposes cruise targets for long-idle drivers.
+	Repositioner = sim.Repositioner
+)
+
+// Streaming order sources (see Service.Serve).
+type (
+	// OrderSource feeds orders to the engine incrementally.
+	OrderSource = sim.OrderSource
+	// SliceSource replays a fixed trace.
+	SliceSource = sim.SliceSource
+	// ChannelSource accepts live Submit-driven orders from concurrent
+	// producers.
+	ChannelSource = sim.ChannelSource
+)
+
+// Event observation (see WithObserver).
+type (
+	// Observer receives engine lifecycle events during a run.
+	Observer = sim.Observer
+	// Observers fans events out to several observers.
+	Observers = sim.Observers
+	// ObserverFuncs adapts free functions to Observer.
+	ObserverFuncs = sim.ObserverFuncs
+	// BatchStartEvent, AssignedEvent, ExpiredEvent and RepositionedEvent
+	// are the event payloads.
+	BatchStartEvent   = sim.BatchStartEvent
+	AssignedEvent     = sim.AssignedEvent
+	ExpiredEvent      = sim.ExpiredEvent
+	RepositionedEvent = sim.RepositionedEvent
 )
 
 // Framework types.
 type (
-	// Options configures a Runner.
+	// Options configures a Runner (and, via WithOptions, a Service).
 	Options = core.Options
 	// Runner owns one problem instance and executes algorithms on it.
+	//
+	// Deprecated: new code should use Service, which adds streaming
+	// sources, cancellation and parallel sweeps; Runner remains for the
+	// lower-level history-sharing workflow.
 	Runner = core.Runner
 	// PredictionMode selects the demand-forecast source.
 	PredictionMode = core.PredictionMode
@@ -106,7 +150,18 @@ func NewNYCGrid() *Grid { return geo.NewNYCGrid() }
 func NewGrid(box BBox, rows, cols int) *Grid { return geo.NewGrid(box, rows, cols) }
 
 // NewRunner materializes a problem instance from options.
+//
+// Deprecated: use NewService with functional options; Service.Runner
+// exposes the underlying instance when the lower-level API is needed.
 func NewRunner(opts Options) *Runner { return core.NewRunner(opts) }
+
+// NewSliceSource wraps a fixed trace in the OrderSource interface,
+// validated and sorted by post time.
+func NewSliceSource(orders []Order) *SliceSource { return sim.NewSliceSource(orders) }
+
+// NewChannelSource returns an open source for live, Submit-driven
+// dispatch (see Service.Serve).
+func NewChannelSource() *ChannelSource { return sim.NewChannelSource() }
 
 // AlgorithmNames lists the built-in dispatchers: IRG, LS, SHORT, LTG,
 // NEAR, RAND, POLAR, UPPER.

@@ -2,20 +2,20 @@ package mrvd
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
 
 func TestPublicAPIQuickstartFlow(t *testing.T) {
 	city := NewCity(CityConfig{OrdersPerDay: 4000, Seed: 1})
-	runner := NewRunner(Options{
-		City: city, NumDrivers: 30, Delta: 10, Horizon: 3 * 3600,
-	})
-	ls, err := NewDispatcher("LS", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m, err := runner.Run(ls, PredictOracle, nil)
+	svc := NewService(
+		WithCity(city),
+		WithFleet(30),
+		WithBatchInterval(10),
+		WithHorizon(3*3600),
+	)
+	m, err := svc.Run(context.Background(), "LS")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,6 +24,25 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	}
 	if m.Served+m.Reneged > m.TotalOrders {
 		t.Errorf("outcome accounting broken: %d+%d > %d", m.Served, m.Reneged, m.TotalOrders)
+	}
+}
+
+func TestPublicAPIDeprecatedRunnerFlow(t *testing.T) {
+	// The pre-v2 Runner entry point keeps working (with a context).
+	city := NewCity(CityConfig{OrdersPerDay: 2000, Seed: 1})
+	runner := NewRunner(Options{
+		City: city, NumDrivers: 20, Delta: 10, Horizon: 2 * 3600,
+	})
+	ls, err := NewDispatcher("LS", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := runner.Run(context.Background(), ls, PredictOracle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalOrders == 0 {
+		t.Errorf("empty run: %+v", m)
 	}
 }
 

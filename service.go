@@ -1,0 +1,217 @@
+package mrvd
+
+import (
+	"context"
+	"fmt"
+
+	"mrvd/internal/core"
+)
+
+// Service is the streaming, context-aware entry point to the framework.
+// It separates order sources from the dispatch engine: the same
+// configured service runs recorded traces (Run), live Submit-driven
+// streams (Serve), and parallel experiment grids (Sweep), all
+// cancellable through a context and observable through event hooks.
+//
+// Build one with NewService and functional options:
+//
+//	svc := mrvd.NewService(
+//		mrvd.WithCity(city),
+//		mrvd.WithFleet(500),
+//		mrvd.WithPrediction(mrvd.PredictOracle, nil),
+//	)
+//	metrics, err := svc.Run(ctx, "LS")
+//
+// A Service is immutable after construction and safe for concurrent use
+// as long as its Coster and Observer are (the default coster is; see
+// WithCoster).
+type Service struct {
+	opts   core.Options
+	mode   PredictionMode
+	model  Predictor
+	orders []Order
+	starts []Point
+}
+
+// Option configures a Service.
+type Option func(*Service)
+
+// WithCity sets the demand workload (default: scaled NYC-like city).
+func WithCity(c *City) Option { return func(s *Service) { s.opts.City = c } }
+
+// WithFleet sets the driver count (default 100).
+func WithFleet(n int) Option { return func(s *Service) { s.opts.NumDrivers = n } }
+
+// WithBatchInterval sets the batch interval delta in seconds (default 3,
+// Table 2).
+func WithBatchInterval(seconds float64) Option {
+	return func(s *Service) { s.opts.Delta = seconds }
+}
+
+// WithSchedulingWindow sets the queueing-analysis window t_c in seconds
+// (default 1200).
+func WithSchedulingWindow(seconds float64) Option {
+	return func(s *Service) { s.opts.TC = seconds }
+}
+
+// WithHorizon sets the simulated span in seconds (default one day).
+func WithHorizon(seconds float64) Option {
+	return func(s *Service) { s.opts.Horizon = seconds }
+}
+
+// WithCoster sets the travel-cost backend (default Manhattan distance at
+// urban speed). For Sweep, the coster is shared across parallel runs and
+// must be safe for concurrent use; DefaultCoster and GraphCoster are.
+func WithCoster(c Coster) Option { return func(s *Service) { s.opts.Coster = c } }
+
+// WithSeed sets the instance seed for trace sampling and driver starts
+// (default 0).
+func WithSeed(seed int64) Option { return func(s *Service) { s.opts.Seed = seed } }
+
+// WithTrainDays sets the prediction-history length; the test day is day
+// TrainDays (default MinLookbackDays+14).
+func WithTrainDays(days int) Option { return func(s *Service) { s.opts.TrainDays = days } }
+
+// WithSlotSeconds sets the prediction slot width (default 1800, the
+// paper's 30 minutes).
+func WithSlotSeconds(seconds float64) Option {
+	return func(s *Service) { s.opts.SlotSeconds = seconds }
+}
+
+// WithPrediction selects the demand-forecast source consulted by the
+// queueing-aware dispatchers: PredictNone, PredictOracle (default), or
+// PredictModel with a predictor from Predictors or the predict package.
+func WithPrediction(mode PredictionMode, model Predictor) Option {
+	return func(s *Service) { s.mode, s.model = mode, model }
+}
+
+// WithPace throttles runs to at most factor simulated seconds per wall
+// second (1 = real time, 0 = free-run, the default). Live Serve with
+// producers stamping PostTime off the wall clock requires pacing —
+// an unpaced engine simulates hours per wall second and would expire
+// wall-clock-stamped orders on arrival.
+func WithPace(factor float64) Option {
+	return func(s *Service) { s.opts.PaceFactor = factor }
+}
+
+// WithObserver subscribes an event observer to every run: batch starts,
+// assignments, expiries and repositions stream out as they happen
+// instead of being scraped from Metrics afterwards. Compose several with
+// sim.Observers.
+func WithObserver(o Observer) Option { return func(s *Service) { s.opts.Observer = o } }
+
+// WithRepositioner enables active repositioning of drivers idle longer
+// than afterSeconds (0 keeps the 300s default threshold).
+func WithRepositioner(r Repositioner, afterSeconds float64) Option {
+	return func(s *Service) {
+		s.opts.Repositioner = r
+		s.opts.RepositionAfter = afterSeconds
+	}
+}
+
+// WithOrders replays an external trace (e.g. a converted TLC extract)
+// instead of generating one from the city. starts may be nil to sample
+// driver start positions from the trace's pickups.
+func WithOrders(orders []Order, starts []Point) Option {
+	return func(s *Service) { s.orders, s.starts = orders, starts }
+}
+
+// WithOptions overlays a full core options struct — an escape hatch for
+// callers migrating from the Runner API. Later With options still apply
+// on top.
+func WithOptions(opts Options) Option { return func(s *Service) { s.opts = opts } }
+
+// NewService builds a Service; zero options give the quickstart default:
+// a scaled NYC-like city, 100 drivers, the paper's batch timing and
+// oracle demand forecasts.
+func NewService(opts ...Option) *Service {
+	s := &Service{mode: PredictOracle}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Options returns the service's (not yet defaulted) runner options.
+func (s *Service) Options() Options { return s.opts }
+
+// newRunner materializes a problem instance for one run.
+func (s *Service) newRunner(seed int64) *Runner {
+	opts := s.opts
+	opts.Seed = seed
+	if s.orders != nil {
+		return core.NewRunnerForTrace(opts, s.orders, s.starts)
+	}
+	return core.NewRunner(opts)
+}
+
+// Run simulates one full trace — generated from the city, or the
+// WithOrders replay — under the named algorithm and returns its metrics.
+// The context cancels the run between batches.
+func (s *Service) Run(ctx context.Context, algorithm string) (*Metrics, error) {
+	d, err := core.NewDispatcher(algorithm, s.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.newRunner(s.opts.Seed).Run(ctx, d, s.mode, s.model)
+}
+
+// Runner exposes the materialized problem instance for callers that need
+// the lower-level API (history sharing, trained predictors).
+func (s *Service) Runner() *Runner { return s.newRunner(s.opts.Seed) }
+
+// Serve dispatches a live order stream: orders arrive through src —
+// typically a ChannelSource fed by concurrent Submit calls — and the
+// run ends at the horizon, on ctx cancellation, or once src is closed,
+// drained and every trip completed. starts positions the fleet; nil
+// samples starts the way Run does. Producers stamping PostTime off the
+// wall clock need WithPace.
+func (s *Service) Serve(ctx context.Context, algorithm string, src OrderSource, starts []Point) (*Metrics, error) {
+	if src == nil {
+		return nil, fmt.Errorf("mrvd: Serve requires an OrderSource")
+	}
+	d, err := core.NewDispatcher(algorithm, s.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var r *Runner
+	if starts != nil && s.orders == nil {
+		// With an explicit fleet there is no reason to materialize a
+		// synthetic day trace the streaming run would never read.
+		r = core.NewRunnerWithOrders(s.opts, nil, starts)
+	} else {
+		// A nil starts falls through to the runner's own sampled fleet.
+		r = s.newRunner(s.opts.Seed)
+	}
+	return r.RunSource(ctx, d, s.mode, s.model, src, starts)
+}
+
+// SweepSpec re-exports the grid description of core.Sweep.
+type SweepSpec = core.SweepSpec
+
+// SweepPoint identifies one sweep cell.
+type SweepPoint = core.SweepPoint
+
+// SweepResult is one completed sweep cell.
+type SweepResult = core.SweepResult
+
+// Sweep runs every (algorithm × seed × fleet-size) combination of the
+// spec in parallel on a bounded worker pool, reusing per-seed history
+// and trained predictors across cells. Results are in grid order and
+// deterministic: a parallel sweep's Metrics.Summary values are identical
+// to a sequential (Workers: 1) sweep's.
+//
+// The spec's Mode and Model are used verbatim (the zero Mode is
+// PredictNone) — they deliberately do not inherit WithPrediction, so an
+// explicit no-prediction sweep is always expressible regardless of how
+// the service is configured. A WithOrders trace (and its explicit
+// starts, if any) does carry over: every cell replays it. Per-run hooks
+// do not: the cells run unobserved and unpaced, since a shared Observer
+// would race across workers and pacing would throttle each cell to
+// wall-clock speed.
+func (s *Service) Sweep(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
+	if spec.Orders == nil {
+		spec.Orders, spec.Starts = s.orders, s.starts
+	}
+	return core.Sweep(ctx, s.opts, spec)
+}

@@ -1,0 +1,183 @@
+package mrvd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mrvd/internal/dispatch"
+)
+
+func TestServiceOptionDefaulting(t *testing.T) {
+	// A zero-option service defaults exactly like the documented Options
+	// defaults (Table 2's parameters).
+	svc := NewService()
+	o := svc.Options().WithDefaults()
+	if o.NumDrivers != 100 {
+		t.Errorf("default fleet = %d, want 100", o.NumDrivers)
+	}
+	if o.Delta != 3 || o.TC != 1200 || o.Horizon != 24*3600 {
+		t.Errorf("default timing = (%v, %v, %v), want (3, 1200, 86400)", o.Delta, o.TC, o.Horizon)
+	}
+	if o.SlotSeconds != 1800 {
+		t.Errorf("default slot = %v, want 1800", o.SlotSeconds)
+	}
+	if o.City == nil {
+		t.Error("default city not materialized")
+	}
+}
+
+func TestServiceOptionsApply(t *testing.T) {
+	city := NewCity(CityConfig{OrdersPerDay: 1000, Seed: 9})
+	rep := &dispatch.QueueReposition{}
+	obs := ObserverFuncs{}
+	svc := NewService(
+		WithCity(city),
+		WithFleet(42),
+		WithBatchInterval(7),
+		WithSchedulingWindow(900),
+		WithHorizon(7200),
+		WithSeed(5),
+		WithTrainDays(40),
+		WithSlotSeconds(600),
+		WithObserver(obs),
+		WithRepositioner(rep, 123),
+	)
+	o := svc.Options()
+	if o.City != city || o.NumDrivers != 42 || o.Delta != 7 || o.TC != 900 ||
+		o.Horizon != 7200 || o.Seed != 5 || o.TrainDays != 40 || o.SlotSeconds != 600 {
+		t.Errorf("options not applied: %+v", o)
+	}
+	if o.Repositioner != rep || o.RepositionAfter != 123 {
+		t.Error("repositioner option not applied")
+	}
+	if o.Observer == nil {
+		t.Error("observer option not applied")
+	}
+	// WithOptions overlays wholesale; later options still win.
+	svc2 := NewService(WithOptions(o), WithFleet(7))
+	if got := svc2.Options(); got.NumDrivers != 7 || got.Delta != 7 {
+		t.Errorf("WithOptions overlay broken: %+v", got)
+	}
+}
+
+func TestServiceRunUnknownAlgorithm(t *testing.T) {
+	svc := NewService(WithCity(NewCity(CityConfig{OrdersPerDay: 100, Seed: 1})))
+	if _, err := svc.Run(context.Background(), "BOGUS"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestServiceRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	svc := NewService(
+		WithCity(NewCity(CityConfig{OrdersPerDay: 1000, Seed: 1})),
+		WithFleet(10),
+		WithHorizon(3600),
+	)
+	if _, err := svc.Run(ctx, "NEAR"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestServiceServeChannelSource(t *testing.T) {
+	city := NewCity(CityConfig{OrdersPerDay: 1000, Seed: 3})
+	svc := NewService(
+		WithCity(city),
+		WithFleet(15),
+		WithBatchInterval(5),
+		WithHorizon(6*3600),
+		WithPrediction(PredictNone, nil),
+	)
+	src := NewChannelSource()
+	grid := city.Grid()
+	c := grid.Bounds().Center()
+	for i := 0; i < 20; i++ {
+		post := float64(i * 10)
+		err := src.Submit(Order{
+			ID: OrderID(i), PostTime: post,
+			Pickup:   Point{Lng: c.Lng + float64(i%5)*1e-3, Lat: c.Lat},
+			Dropoff:  Point{Lng: c.Lng, Lat: c.Lat + 0.01},
+			Deadline: post + 300,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	m, err := svc.Serve(context.Background(), "NEAR", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalOrders != 20 {
+		t.Fatalf("TotalOrders = %d, want 20", m.TotalOrders)
+	}
+	if m.Served+m.Reneged != 20 {
+		t.Fatalf("outcomes %d+%d, want 20", m.Served, m.Reneged)
+	}
+	// Drained exit fired well before the 6h horizon.
+	if float64(m.Batches)*5 >= 6*3600 {
+		t.Errorf("Serve ran to the horizon (%d batches)", m.Batches)
+	}
+}
+
+func TestServiceSweepDeterministicAcrossWorkers(t *testing.T) {
+	svc := NewService(
+		WithCity(NewCity(CityConfig{OrdersPerDay: 3000, Seed: 2})),
+		WithHorizon(2*3600),
+		WithBatchInterval(10),
+	)
+	spec := SweepSpec{
+		Algorithms: []string{"NEAR", "RAND"},
+		Seeds:      []int64{1, 2},
+		Fleets:     []int{10, 20},
+	}
+	seq := spec
+	seq.Workers = 1
+	par := spec
+	par.Workers = 8
+	a, err := svc.Sweep(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Sweep(context.Background(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("cell errors: %v / %v", a[i].Err, b[i].Err)
+		}
+		sa := fmt.Sprintf("%+v", a[i].Metrics.Summary())
+		sb := fmt.Sprintf("%+v", b[i].Metrics.Summary())
+		if sa != sb {
+			t.Errorf("cell %+v diverged:\nseq: %s\npar: %s", a[i].SweepPoint, sa, sb)
+		}
+	}
+}
+
+func TestServiceObserverSeesRun(t *testing.T) {
+	var batches, assigned int
+	svc := NewService(
+		WithCity(NewCity(CityConfig{OrdersPerDay: 2000, Seed: 4})),
+		WithFleet(20),
+		WithBatchInterval(10),
+		WithHorizon(2*3600),
+		WithObserver(ObserverFuncs{
+			BatchStart: func(BatchStartEvent) { batches++ },
+			Assigned:   func(AssignedEvent) { assigned++ },
+		}),
+	)
+	m, err := svc.Run(context.Background(), "NEAR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != m.Batches {
+		t.Errorf("observer batches %d != metrics %d", batches, m.Batches)
+	}
+	if assigned != m.Served {
+		t.Errorf("observer assignments %d != served %d", assigned, m.Served)
+	}
+}
