@@ -184,3 +184,82 @@ func syntheticBatch(riders, drivers, fanout int) *sim.Context {
 }
 
 func BenchmarkAblationReposition(b *testing.B) { benchExperiment(b, "ablation-reposition") }
+
+// BenchmarkBatchCosts prices one 200-driver x 200-order batch on the
+// road network through both query paths. Each iteration uses a fresh
+// coster so the comparison is a cold batch for both; the extra
+// "settled/op" metric counts Dijkstra-settled nodes — the
+// shortest-path work the batch path saves by deduplicating snapped
+// sources and truncating each tree at the batch's targets (the
+// committed BENCH_dispatch.json baseline shows the ratio).
+func BenchmarkBatchCosts(b *testing.B) {
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: 1})
+	box := NYCBBox
+	cx, cy := (box.MinLng+box.MaxLng)/2, (box.MinLat+box.MaxLat)/2
+	w, h := (box.MaxLng-box.MinLng)/8, (box.MaxLat-box.MinLat)/8
+	rng := rand.New(rand.NewSource(13))
+	randPoint := func() Point {
+		return Point{Lng: cx - w + rng.Float64()*2*w, Lat: cy - h + rng.Float64()*2*h}
+	}
+	drivers := make([]Point, 200)
+	orders := make([]Point, 200)
+	for i := range drivers {
+		drivers[i] = randPoint()
+	}
+	for i := range orders {
+		orders[i] = randPoint()
+	}
+
+	b.Run("Batch", func(b *testing.B) {
+		b.ReportAllocs()
+		var settled int64
+		for i := 0; i < b.N; i++ {
+			c := roadnet.NewGraphCoster(g)
+			c.Costs(drivers, orders)
+			settled += c.Stats().SettledNodes
+		}
+		b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+	})
+	b.Run("PerPair", func(b *testing.B) {
+		b.ReportAllocs()
+		var settled int64
+		for i := 0; i < b.N; i++ {
+			c := roadnet.NewGraphCoster(g)
+			for _, d := range drivers {
+				for _, o := range orders {
+					c.Cost(d, o)
+				}
+			}
+			settled += c.Stats().SettledNodes
+		}
+		b.ReportMetric(float64(settled)/float64(b.N), "settled/op")
+	})
+}
+
+// BenchmarkDispatchCycle runs one hour of full engine batch cycles —
+// order admission, candidate pruning, batched pickup costing, IRG
+// assignment, commitment — over a 28K-order day at 200 drivers, under
+// both the closed-form and the road-network coster.
+func BenchmarkDispatchCycle(b *testing.B) {
+	city := workload.NewCity(workload.CityConfig{OrdersPerDay: 28000, Seed: 31})
+	rng := rand.New(rand.NewSource(3))
+	orders := city.GenerateDay(0, rng)
+	starts := city.InitialDrivers(200, orders, rng)
+
+	run := func(b *testing.B, coster roadnet.Coster) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.Config{Grid: city.Grid(), Coster: coster, Delta: 3, TC: 1200, Horizon: 3600}
+			e := sim.New(cfg, orders, starts)
+			if _, err := e.Run(context.Background(), &dispatch.IRG{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("GreatCircle", func(b *testing.B) { run(b, nil) })
+	b.Run("RoadNetwork", func(b *testing.B) {
+		g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: 1})
+		run(b, roadnet.NewGraphCoster(g))
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"mrvd/internal/predict"
+	"mrvd/internal/roadnet"
 	"mrvd/internal/sim"
 	"mrvd/internal/trace"
 )
@@ -102,6 +103,16 @@ func Sweep(ctx context.Context, base Options, spec SweepSpec) ([]SweepResult, er
 	}
 	if len(spec.Algorithms) == 0 {
 		return nil, fmt.Errorf("core: sweep needs at least one algorithm")
+	}
+	// Every cell of the grid runs one shared coster instance: resolve
+	// the nil default here rather than per cell inside sim.Config.
+	// (The default is stateless, so this only pins down the sharing
+	// contract; a user-supplied coster — e.g. a road network, whose
+	// snap index and tree cache then warm across the grid — is shared
+	// by construction through base.Coster. Costers must be safe for
+	// concurrent use; both built-ins are.)
+	if base.Coster == nil {
+		base.Coster = roadnet.NewDefaultCoster()
 	}
 	if spec.Mode == PredictModel && spec.Model == nil {
 		return nil, fmt.Errorf("core: PredictModel sweep requires a model factory")

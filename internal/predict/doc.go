@@ -19,4 +19,16 @@
 // All models implement Predictor and read lag features from a shared
 // History, so online use during simulation (where the current day's
 // realized counts fill in as slots complete) needs no special casing.
+//
+// # Typical use
+//
+// All(seed) returns fresh instances of every model. A Predictor is
+// Train'ed on a History (at least MinLookbackDays days, typically
+// built by GenerateHistory or core.Runner) and then queried per (day,
+// slot, region); Predict only reads strictly-past cells, so training
+// and test data can share one History. Evaluate computes the RMSE/MAE
+// accuracy comparison of the paper's Table 6. Inside the simulator,
+// forecasts reach dispatchers through core's PredictModel mode, which
+// aggregates per-slot predictions into the scheduling window's |^R_k|
+// counts.
 package predict

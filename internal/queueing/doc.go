@@ -17,4 +17,17 @@
 // It also provides the batch-window arrival-rate estimators of
 // Eqs. 18-19 and a Monte-Carlo chain simulator used to validate the
 // closed forms in tests.
+//
+// # Consuming the model
+//
+// New (or NewDefault) builds a Model — the closed forms plus the
+// reneging configuration — and Model.ExpectedIdleTime evaluates one
+// (lambda, mu, k) point. Batch dispatchers work through an Analyzer
+// instead: it snapshots every region's state (waiting riders, available
+// drivers, window predictions) once per batch, converts counts to
+// rates, caches per-region ET values, and exposes the idle ratio
+// IR = ET / (cost + ET) of Eq. 17 that scores rider-driver pairs. The
+// Analyzer's CommitDestination/UncommitDestination implement Algorithm
+// 2 line 11's mu-update feedback, which the IRG and LS dispatchers
+// invoke as assignments commit.
 package queueing

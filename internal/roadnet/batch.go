@@ -1,0 +1,315 @@
+package roadnet
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mrvd/internal/geo"
+)
+
+// BatchCoster extends Coster with many-to-many pricing: one call prices
+// every (source, target) pair and returns a dense cost matrix. The batch
+// dispatcher's hot path is exactly this shape — each batch needs the
+// pickup cost of every candidate driver to every waiting rider — and a
+// batch-aware implementation can amortize work per-pair queries repeat
+// (snapping, shortest-path trees, lock traffic).
+//
+// The contract is strict equivalence: Costs(S, T)[i][j] must equal
+// Cost(S[i], T[j]) bitwise for every pair, so swapping the per-pair path
+// for the batch path never changes dispatch results, only their cost.
+type BatchCoster interface {
+	Coster
+	// Costs returns the len(sources) x len(targets) travel-time matrix
+	// in seconds, +Inf for unreachable pairs. The returned rows are
+	// freshly allocated and owned by the caller.
+	Costs(sources, targets []geo.Point) [][]float64
+}
+
+// PerSourceAmortized is an optional BatchCoster capability: it reports
+// whether one dense Costs call is worth more than pricing individual
+// cells on demand. True means Costs amortizes per-source work across
+// targets (a shortest-path tree per unique source) or per-call overhead
+// across cells (one RPC to a routing service), so callers should hand
+// it the full dense matrix — and the engine treats BatchCosters that
+// don't implement the interface as true for the same reason. False
+// opts out: a closed form is O(1) per cell with nothing to amortize,
+// so pricing only the cells actually read is strictly cheaper.
+type PerSourceAmortized interface {
+	BatchCoster
+	AmortizesPerSource() bool
+}
+
+// AmortizesPerSource implements PerSourceAmortized: graph costers pay
+// one truncated Dijkstra per unique source, which every target shares.
+func (c *GraphCoster) AmortizesPerSource() bool { return true }
+
+// AmortizesPerSource implements PerSourceAmortized: the closed form has
+// no per-source work to amortize, so batch callers do better pricing
+// exactly the cells they read than filling a dense matrix.
+func (c *GreatCircleCoster) AmortizesPerSource() bool { return false }
+
+// AsBatchCoster returns c's native batch implementation when it has one,
+// and otherwise adapts c with a per-pair loop, so callers can consume
+// the batch API unconditionally while plain Costers keep working as
+// compatibility shims.
+func AsBatchCoster(c Coster) BatchCoster {
+	if b, ok := c.(BatchCoster); ok {
+		return b
+	}
+	return pairwiseBatch{c}
+}
+
+// pairwiseBatch is the fallback BatchCoster over a single-pair Coster.
+type pairwiseBatch struct{ Coster }
+
+func (p pairwiseBatch) Costs(sources, targets []geo.Point) [][]float64 {
+	out := newCostMatrix(len(sources), len(targets))
+	for i, s := range sources {
+		for j, t := range targets {
+			out[i][j] = p.Coster.Cost(s, t)
+		}
+	}
+	return out
+}
+
+// newCostMatrix allocates a dense rows x cols matrix backed by one slab.
+func newCostMatrix(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	cells := make([]float64, rows*cols)
+	for i := range out {
+		out[i] = cells[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}
+
+// Costs implements BatchCoster. The closed form is evaluated cell by
+// cell through Cost itself, so the matrix is trivially bitwise-identical
+// to per-pair queries; the win is one slab allocation and no interface
+// dispatch in callers' inner loops.
+func (c *GreatCircleCoster) Costs(sources, targets []geo.Point) [][]float64 {
+	out := newCostMatrix(len(sources), len(targets))
+	for i, s := range sources {
+		row := out[i]
+		for j, t := range targets {
+			row[j] = c.Cost(s, t)
+		}
+	}
+	return out
+}
+
+// costerCounters instruments a GraphCoster's query work.
+type costerCounters struct {
+	trees     atomic.Int64
+	partials  atomic.Int64
+	settled   atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// CosterStats snapshots a GraphCoster's cumulative query counters.
+type CosterStats struct {
+	// Trees counts full shortest-path trees computed by single-pair
+	// Cost queries.
+	Trees int64
+	// PartialTrees counts Dijkstra runs issued by batched Costs
+	// queries: truncated for first-seen sources, full when promoting a
+	// hot source whose cached tree fell short.
+	PartialTrees int64
+	// SettledNodes totals nodes finalized across all Dijkstra runs —
+	// the unit of shortest-path work the per-pair and batch query paths
+	// share, and what BenchmarkBatchCosts compares. A full tree settles
+	// every reachable node; a truncated batch run stops as soon as the
+	// batch's target nodes are settled.
+	SettledNodes int64
+	// CacheHits counts queries answered from the tree cache.
+	CacheHits int64
+}
+
+// Stats snapshots the coster's cumulative counters.
+func (c *GraphCoster) Stats() CosterStats {
+	return CosterStats{
+		Trees:        c.stats.trees.Load(),
+		PartialTrees: c.stats.partials.Load(),
+		SettledNodes: c.stats.settled.Load(),
+		CacheHits:    c.stats.cacheHits.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (benchmark bookkeeping).
+func (c *GraphCoster) ResetStats() {
+	c.stats.trees.Store(0)
+	c.stats.partials.Store(0)
+	c.stats.settled.Store(0)
+	c.stats.cacheHits.Store(0)
+}
+
+// Costs implements BatchCoster. Every endpoint is snapped exactly once,
+// snapped source nodes are deduplicated, and one truncated Dijkstra runs
+// per unique unserved source on a parallel worker pool. The query path
+// acquires the coster's mutex twice — once to consult the tree cache up
+// front, once to publish new trees — rather than once per pair, so
+// workers never contend on a lock.
+//
+// Each truncated run settles the graph only until the batch's target
+// nodes are finalized, which on clustered city workloads is a small
+// fraction of the full tree a per-pair Cost query would expand (Stats
+// reports both in SettledNodes). Truncation never changes settled
+// values, so the matrix is bitwise-identical to per-pair queries.
+//
+// Trees are cached with their coverage horizon, so consecutive batches
+// reuse them: a stationary driver's tree from the last batch serves
+// this one as long as its targets stay inside the settled horizon. A
+// cached tree that proves insufficient is recomputed as a full tree —
+// the source is demonstrably hot, so one full expansion buys every
+// future batch a guaranteed hit.
+func (c *GraphCoster) Costs(sources, targets []geo.Point) [][]float64 {
+	nT := len(targets)
+	out := newCostMatrix(len(sources), nT)
+	if len(sources) == 0 || nT == 0 {
+		return out
+	}
+
+	// Snap all endpoints once.
+	srcNode := make([]NodeID, len(sources))
+	srcApproach := make([]float64, len(sources))
+	for i, p := range sources {
+		srcNode[i], srcApproach[i] = c.snap.nearest(p)
+	}
+	tgtNode := make([]NodeID, nT)
+	tgtApproach := make([]float64, nT)
+	needed := make([]bool, c.g.NumNodes())
+	var tgtUniq []NodeID
+	for j, p := range targets {
+		tgtNode[j], tgtApproach[j] = c.snap.nearest(p)
+		if n := tgtNode[j]; n != InvalidNode && !needed[n] {
+			needed[n] = true
+			tgtUniq = append(tgtUniq, n)
+		}
+	}
+	uniqueTargets := len(tgtUniq)
+
+	// Deduplicate source nodes in first-appearance order: co-located
+	// drivers share one Dijkstra.
+	rowOf := make(map[NodeID]int, len(sources))
+	var uniq []NodeID
+	for _, n := range srcNode {
+		if n == InvalidNode {
+			continue
+		}
+		if _, ok := rowOf[n]; !ok {
+			rowOf[n] = len(uniq)
+			uniq = append(uniq, n)
+		}
+	}
+
+	// covered reports whether a cached tree's horizon reaches every
+	// unique target node of this batch: only then are its values final
+	// for every cell the matrix will read. It runs under the coster's
+	// mutex, hence the deduplicated scan.
+	covered := func(tree []float64, horizon float64) bool {
+		for _, n := range tgtUniq {
+			if !(tree[n] <= horizon) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// First lock acquisition: serve sources from cached trees — full
+	// ones from single-pair queries, or earlier batches' partial trees
+	// whose horizon covers this batch's targets.
+	trees := make([][]float64, len(uniq))
+	horizons := make([]float64, len(uniq))
+	var missing []int
+	promote := make(map[int]bool)
+	c.mu.Lock()
+	for u, n := range uniq {
+		if t, hz, ok := c.cache.get(n); ok && covered(t, hz) {
+			trees[u] = t
+		} else {
+			missing = append(missing, u)
+			// A cached-but-insufficient tree marks a hot source: spend
+			// one full expansion now so every future batch hits.
+			promote[u] = ok
+		}
+	}
+	c.mu.Unlock()
+	c.stats.cacheHits.Add(int64(len(uniq) - len(missing)))
+
+	// Dijkstras for the rest — truncated for first-seen sources, full
+	// for promoted ones — fanned over a worker pool. The needed mask is
+	// shared read-only; each worker owns its dist slice.
+	if len(missing) > 0 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(missing) {
+			workers = len(missing)
+		}
+		var next, settledTotal atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(missing) {
+						return
+					}
+					u := missing[k]
+					var tree []float64
+					var settled int
+					var horizon float64
+					if promote[u] {
+						tree, settled, horizon = c.g.dijkstraFrom(uniq[u], nil, 0)
+					} else {
+						tree, settled, horizon = c.g.dijkstraFrom(uniq[u], needed, uniqueTargets)
+					}
+					trees[u] = tree
+					horizons[u] = horizon
+					settledTotal.Add(int64(settled))
+				}
+			}()
+		}
+		wg.Wait()
+		c.stats.partials.Add(int64(len(missing)))
+		c.stats.settled.Add(settledTotal.Load())
+
+		// Second lock acquisition: publish the new trees so the next
+		// batch (and single-pair queries within their horizon) reuse
+		// them.
+		c.mu.Lock()
+		for _, u := range missing {
+			c.cache.put(uniq[u], trees[u], horizons[u], c.CacheSize)
+		}
+		c.mu.Unlock()
+	}
+
+	// Assemble the matrix, pricing approach legs exactly as Cost does.
+	for i := range sources {
+		row := out[i]
+		if srcNode[i] == InvalidNode {
+			for j := range row {
+				row[j] = math.Inf(1)
+			}
+			continue
+		}
+		tree := trees[rowOf[srcNode[i]]]
+		for j := 0; j < nT; j++ {
+			if tgtNode[j] == InvalidNode {
+				row[j] = math.Inf(1)
+				continue
+			}
+			d := tree[tgtNode[j]]
+			if math.IsInf(d, 1) {
+				row[j] = d
+				continue
+			}
+			if c.ApproachSpeedMPS > 0 {
+				d += (srcApproach[i] + tgtApproach[j]) / c.ApproachSpeedMPS
+			}
+			row[j] = d
+		}
+	}
+	return out
+}

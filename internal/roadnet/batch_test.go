@@ -1,0 +1,272 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mrvd/internal/geo"
+)
+
+// randomPoints samples n points uniformly from box.
+func randomPoints(n int, box geo.BBox, rng *rand.Rand) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{
+			Lng: box.MinLng + rng.Float64()*(box.MaxLng-box.MinLng),
+			Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+		}
+	}
+	return out
+}
+
+// TestBatchCostsEquivalence is the BatchCoster contract property:
+// Costs(S, T)[i][j] == Cost(S[i], T[j]) bitwise, over random graphs and
+// random endpoints, for both the graph-backed and closed-form costers.
+// Bitwise equality (not tolerance) is what lets the engine swap the
+// per-pair path for the batch path without changing dispatch results.
+func TestBatchCostsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		g := GenerateGridNetwork(GridNetworkConfig{
+			Rows: 6 + rng.Intn(12), Cols: 6 + rng.Intn(12),
+			Seed: rng.Int63(), DropFraction: 0.1,
+		})
+		costers := []BatchCoster{
+			NewGraphCoster(g),
+			&GreatCircleCoster{SpeedMPS: 9, UseManhattan: true},
+			&GreatCircleCoster{SpeedMPS: 7, DetourFactor: 1.3},
+			AsBatchCoster(plainCoster{NewGraphCoster(g)}),
+		}
+		sources := randomPoints(1+rng.Intn(30), geo.NYCBBox, rng)
+		targets := randomPoints(1+rng.Intn(30), geo.NYCBBox, rng)
+		for _, c := range costers {
+			mat := c.Costs(sources, targets)
+			if len(mat) != len(sources) {
+				t.Fatalf("trial %d: %d rows, want %d", trial, len(mat), len(sources))
+			}
+			for i, row := range mat {
+				if len(row) != len(targets) {
+					t.Fatalf("trial %d: row %d has %d cols, want %d", trial, i, len(row), len(targets))
+				}
+				for j := range row {
+					if want := c.Cost(sources[i], targets[j]); row[j] != want {
+						t.Fatalf("trial %d: Costs[%d][%d] = %v, Cost = %v", trial, i, j, row[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// plainCoster hides a coster's batch implementation so AsBatchCoster
+// exercises the per-pair fallback.
+type plainCoster struct{ c Coster }
+
+func (p plainCoster) Cost(a, b geo.Point) float64 { return p.c.Cost(a, b) }
+
+// TestBatchCostsEdgeCases covers empty inputs and the empty graph.
+func TestBatchCostsEdgeCases(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 4, Cols: 4, Seed: 3})
+	c := NewGraphCoster(g)
+	if got := c.Costs(nil, []geo.Point{{}}); len(got) != 0 {
+		t.Errorf("no sources: %d rows", len(got))
+	}
+	got := c.Costs([]geo.Point{{}, {}}, nil)
+	if len(got) != 2 || len(got[0]) != 0 {
+		t.Errorf("no targets: %v", got)
+	}
+	empty := NewGraphCoster(NewBuilder().Build())
+	mat := empty.Costs([]geo.Point{{}}, []geo.Point{{Lng: 1}})
+	if !math.IsInf(mat[0][0], 1) {
+		t.Errorf("empty graph cell = %v, want +Inf", mat[0][0])
+	}
+}
+
+// TestBatchCostsUsesCachedTrees verifies the batch path serves sources
+// from full trees the single-pair path already cached.
+func TestBatchCostsUsesCachedTrees(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 8, Cols: 8, Seed: 5, DropFraction: 0})
+	c := NewGraphCoster(g)
+	src := g.Point(10)
+	dst := g.Point(50)
+	want := c.Cost(src, dst) // populates the cache for src's node
+	c.ResetStats()
+	mat := c.Costs([]geo.Point{src}, []geo.Point{dst})
+	if mat[0][0] != want {
+		t.Fatalf("batch %v != single-pair %v", mat[0][0], want)
+	}
+	st := c.Stats()
+	if st.CacheHits != 1 || st.PartialTrees != 0 {
+		t.Errorf("stats = %+v, want 1 cache hit and 0 partial trees", st)
+	}
+}
+
+// TestBatchCostsFewerComputations quantifies the tentpole claim: pricing
+// a 200-driver x 200-order batch does at least 3x less shortest-path
+// work (settled nodes) through the batch path than through per-pair
+// Cost queries. The batch is drawn from a central hotspot box — the
+// urban concentration the workload generator models — so truncated
+// Dijkstras stop far before expanding the citywide tree.
+func TestBatchCostsFewerComputations(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Seed: 11})
+	box := geo.NYCBBox
+	// Central quarter-per-axis hotspot box.
+	cx, cy := (box.MinLng+box.MaxLng)/2, (box.MinLat+box.MaxLat)/2
+	w, h := (box.MaxLng-box.MinLng)/8, (box.MaxLat-box.MinLat)/8
+	hot := geo.BBox{MinLng: cx - w, MaxLng: cx + w, MinLat: cy - h, MaxLat: cy + h}
+	rng := rand.New(rand.NewSource(13))
+	drivers := randomPoints(200, hot, rng)
+	orders := randomPoints(200, hot, rng)
+
+	perPair := NewGraphCoster(g)
+	for _, d := range drivers {
+		for _, o := range orders {
+			perPair.Cost(d, o)
+		}
+	}
+	batch := NewGraphCoster(g)
+	mat := batch.Costs(drivers, orders)
+	for i := range drivers {
+		for j := range orders {
+			if want := perPair.Cost(drivers[i], orders[j]); mat[i][j] != want {
+				t.Fatalf("batch[%d][%d] = %v, per-pair = %v", i, j, mat[i][j], want)
+			}
+		}
+	}
+
+	pp, bt := perPair.Stats(), batch.Stats()
+	if pp.SettledNodes == 0 || bt.SettledNodes == 0 {
+		t.Fatalf("no work recorded: per-pair %+v batch %+v", pp, bt)
+	}
+	ratio := float64(pp.SettledNodes) / float64(bt.SettledNodes)
+	t.Logf("settled nodes: per-pair %d (%d trees), batch %d (%d partials, %d unique sources) — %.1fx fewer",
+		pp.SettledNodes, pp.Trees, bt.SettledNodes, bt.PartialTrees, bt.PartialTrees, ratio)
+	if ratio < 3 {
+		t.Errorf("batch path settled only %.2fx fewer nodes, want >= 3x", ratio)
+	}
+}
+
+// TestBatchCostsCrossBatchReuse verifies the warm-path contract: a
+// repeated batch is served entirely from cached trees, a target beyond
+// a cached tree's horizon promotes the source to a full tree, and from
+// then on every batch hits.
+func TestBatchCostsCrossBatchReuse(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 24, Cols: 24, Seed: 31, DropFraction: 0})
+	c := NewGraphCoster(g)
+	box := geo.NYCBBox
+	cx, cy := (box.MinLng+box.MaxLng)/2, (box.MinLat+box.MaxLat)/2
+	w, h := (box.MaxLng-box.MinLng)/8, (box.MaxLat-box.MinLat)/8
+	hot := geo.BBox{MinLng: cx - w, MaxLng: cx + w, MinLat: cy - h, MaxLat: cy + h}
+	rng := rand.New(rand.NewSource(7))
+	sources := randomPoints(20, hot, rng)
+	targets := randomPoints(15, hot, rng)
+
+	want := c.Costs(sources, targets)
+	st1 := c.Stats()
+	if st1.PartialTrees == 0 {
+		t.Fatal("cold batch issued no Dijkstra runs")
+	}
+
+	// The same batch again: all sources served from the cached partial
+	// trees, no new shortest-path work.
+	got := c.Costs(sources, targets)
+	st2 := c.Stats()
+	if st2.PartialTrees != st1.PartialTrees || st2.SettledNodes != st1.SettledNodes {
+		t.Fatalf("warm repeat recomputed: %+v -> %+v", st1, st2)
+	}
+	if st2.CacheHits <= st1.CacheHits {
+		t.Fatalf("warm repeat recorded no cache hits: %+v -> %+v", st1, st2)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("warm cell [%d][%d] = %v, cold = %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	// A far corner target exceeds the cached horizons: the sources are
+	// promoted to full trees...
+	far := []geo.Point{{Lng: box.MinLng, Lat: box.MinLat}}
+	farBatch := c.Costs(sources, far)
+	st3 := c.Stats()
+	if st3.PartialTrees == st2.PartialTrees {
+		t.Fatal("insufficient cached trees were not recomputed")
+	}
+	if wantFar := c.Cost(sources[0], far[0]); farBatch[0][0] != wantFar {
+		t.Fatalf("promoted cell = %v, want %v", farBatch[0][0], wantFar)
+	}
+	// ...after which any target mix is a pure cache hit.
+	c.Costs(sources, append(append([]geo.Point{}, targets...), far...))
+	st4 := c.Stats()
+	if st4.PartialTrees != st3.PartialTrees || st4.SettledNodes != st3.SettledNodes {
+		t.Fatalf("post-promotion batch recomputed: %+v -> %+v", st3, st4)
+	}
+}
+
+// TestBatchCostsConcurrent exercises the parallel query path under the
+// race detector: concurrent Costs batches interleaved with single-pair
+// Cost queries against one shared coster.
+func TestBatchCostsConcurrent(t *testing.T) {
+	g := GenerateGridNetwork(GridNetworkConfig{Rows: 16, Cols: 16, Seed: 17})
+	c := NewGraphCoster(g)
+	c.CacheSize = 8 // force eviction churn under concurrency
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 20; iter++ {
+				srcs := randomPoints(5, geo.NYCBBox, rng)
+				tgts := randomPoints(7, geo.NYCBBox, rng)
+				mat := c.Costs(srcs, tgts)
+				// Spot-check one cell against the single-pair path.
+				i, j := rng.Intn(len(srcs)), rng.Intn(len(tgts))
+				if want := c.Cost(srcs[i], tgts[j]); mat[i][j] != want {
+					t.Errorf("concurrent batch cell %v != %v", mat[i][j], want)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// TestTreeCacheClockEviction pins the second-chance policy: referenced
+// entries survive a sweep, unreferenced ones are evicted first.
+func TestTreeCacheClockEviction(t *testing.T) {
+	full := math.Inf(1)
+	tc := newTreeCache()
+	tree := func(v float64) []float64 { return []float64{v} }
+	tc.put(1, tree(1), full, 2)
+	tc.put(2, tree(2), full, 2)
+	// Touch node 1 so its reference bit is set; the insert below clears
+	// it in passing and evicts the never-referenced node 2 instead.
+	if _, _, ok := tc.get(1); !ok {
+		t.Fatal("node 1 missing")
+	}
+	tc.put(3, tree(3), full, 2)
+	if _, ok := tc.index[2]; ok {
+		t.Error("unreferenced node 2 should have been evicted before referenced node 1")
+	}
+	if _, _, ok := tc.get(1); !ok {
+		t.Error("referenced node 1 evicted despite its second chance")
+	}
+	// Capacity respected throughout.
+	if len(tc.slots) != 2 || len(tc.index) != 2 {
+		t.Errorf("cache holds %d slots / %d index entries, want 2", len(tc.slots), len(tc.index))
+	}
+	// A hot entry re-referenced on every round stays resident under
+	// sustained one-shot insert pressure (scan resistance).
+	tc2 := newTreeCache()
+	tc2.put(100, tree(100), full, 3)
+	for n := NodeID(0); n < 50; n++ {
+		if _, _, ok := tc2.get(100); !ok {
+			t.Fatalf("hot entry evicted after %d cold inserts", n)
+		}
+		tc2.put(n, tree(float64(n)), full, 3)
+	}
+}

@@ -62,20 +62,29 @@ func (c *GreatCircleCoster) Cost(a, b geo.Point) float64 {
 
 // GraphCoster computes travel time as a shortest path on a road network,
 // snapping endpoints to their nearest graph nodes via a bucketed index.
-// Queries memoize per-source shortest-path trees up to CacheSize sources
-// (LRU-free: the cache is simply reset when full, which is fine for the
-// batched access pattern where consecutive queries share sources). It is
-// safe for concurrent use, so one coster can back a parallel Sweep.
+// Shortest-path trees are memoized up to CacheSize sources under clock
+// (second-chance) eviction: single-pair Cost queries insert full trees,
+// batched Costs queries insert truncated trees tagged with their
+// coverage horizon, and both paths serve any cached tree whose horizon
+// reaches the queried targets — so a stationary driver's tree from one
+// batch prices the next, and re-queried sources survive cache pressure
+// while one-shot scans evict themselves. It is safe for concurrent use,
+// so one coster can back a parallel Sweep, and it implements
+// BatchCoster for many-to-many pricing (see Costs).
 type GraphCoster struct {
-	g         *Graph
-	snap      *snapIndex
-	mu        sync.Mutex
-	cache     map[NodeID][]float64
+	g     *Graph
+	snap  *snapIndex
+	mu    sync.Mutex
+	cache *treeCache
+	// CacheSize bounds the number of memoized shortest-path trees. Set
+	// it before the first query; the default is 512.
 	CacheSize int
 	// ApproachSpeedMPS prices the off-network legs between the query
 	// points and their snapped nodes. The legs are local streets, so the
 	// default is DefaultSpeedMPS; set to 0 to ignore approach legs.
 	ApproachSpeedMPS float64
+
+	stats costerCounters
 }
 
 // NewGraphCoster wraps a road network in the Coster interface.
@@ -83,7 +92,7 @@ func NewGraphCoster(g *Graph) *GraphCoster {
 	return &GraphCoster{
 		g:                g,
 		snap:             newSnapIndex(g),
-		cache:            make(map[NodeID][]float64),
+		cache:            newTreeCache(),
 		CacheSize:        512,
 		ApproachSpeedMPS: DefaultSpeedMPS,
 	}
@@ -98,17 +107,21 @@ func (c *GraphCoster) Cost(a, b geo.Point) float64 {
 		return math.Inf(1)
 	}
 	c.mu.Lock()
-	tree, ok := c.cache[na]
+	tree, horizon, ok := c.cache.get(na)
 	c.mu.Unlock()
-	if !ok {
-		// Compute outside the lock: trees are deterministic, so a racing
-		// duplicate computation is wasted work, not wrong work.
-		tree = c.g.ShortestPathTree(na)
+	if ok && tree[nb] <= horizon {
+		c.stats.cacheHits.Add(1)
+	} else {
+		// Miss, or a batch-cached partial tree that doesn't reach nb.
+		// Compute a full tree outside the lock: trees are deterministic,
+		// so a racing duplicate computation is wasted work, not wrong
+		// work.
+		var settled int
+		tree, settled, horizon = c.g.dijkstraFrom(na, nil, 0)
+		c.stats.trees.Add(1)
+		c.stats.settled.Add(int64(settled))
 		c.mu.Lock()
-		if len(c.cache) >= c.CacheSize {
-			c.cache = make(map[NodeID][]float64)
-		}
-		c.cache[na] = tree
+		c.cache.put(na, tree, horizon, c.CacheSize)
 		c.mu.Unlock()
 	}
 	d := tree[nb]
@@ -119,6 +132,83 @@ func (c *GraphCoster) Cost(a, b geo.Point) float64 {
 		d += (da + db) / c.ApproachSpeedMPS
 	}
 	return d
+}
+
+// treeCache memoizes shortest-path trees per source node with clock
+// (second-chance) eviction: every hit sets the entry's reference bit,
+// and an insert at capacity sweeps the clock hand, clearing set bits and
+// replacing the first unreferenced entry. Unlike the previous
+// reset-when-full policy — which discarded every hot tree the moment the
+// cache filled, typically mid-batch — eviction pressure now lands on the
+// sources that stopped being queried. Callers hold the owning coster's
+// mutex; the cache itself does no locking.
+type treeCache struct {
+	slots []treeSlot
+	index map[NodeID]int
+	hand  int
+}
+
+// treeSlot is one cached tree plus its exact-coverage horizon: entries
+// with dist <= horizon are final shortest-path values (+Inf for full
+// trees, the break distance for truncated batch trees). Callers must
+// check coverage before trusting a distance.
+type treeSlot struct {
+	node    NodeID
+	tree    []float64
+	horizon float64
+	ref     bool
+}
+
+func newTreeCache() *treeCache {
+	return &treeCache{index: make(map[NodeID]int)}
+}
+
+// get returns the cached tree and horizon for n, marking the entry
+// referenced.
+func (tc *treeCache) get(n NodeID) ([]float64, float64, bool) {
+	i, ok := tc.index[n]
+	if !ok {
+		return nil, 0, false
+	}
+	tc.slots[i].ref = true
+	return tc.slots[i].tree, tc.slots[i].horizon, true
+}
+
+// put inserts a tree, evicting by second chance once capacity entries
+// exist. New entries start unreferenced: a source only earns its
+// reference bit by being queried again, so a scan of one-shot sources
+// evicts itself under pressure while the re-queried hot set survives.
+func (tc *treeCache) put(n NodeID, tree []float64, horizon float64, capacity int) {
+	if i, ok := tc.index[n]; ok {
+		tc.slots[i].tree = tree
+		tc.slots[i].horizon = horizon
+		tc.slots[i].ref = true
+		return
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	if len(tc.slots) < capacity {
+		tc.index[n] = len(tc.slots)
+		tc.slots = append(tc.slots, treeSlot{node: n, tree: tree, horizon: horizon})
+		return
+	}
+	for {
+		if tc.hand >= len(tc.slots) {
+			tc.hand = 0
+		}
+		s := &tc.slots[tc.hand]
+		if s.ref {
+			s.ref = false
+			tc.hand++
+			continue
+		}
+		delete(tc.index, s.node)
+		*s = treeSlot{node: n, tree: tree, horizon: horizon}
+		tc.index[n] = tc.hand
+		tc.hand++
+		return
+	}
 }
 
 // snapIndex buckets graph nodes on a coarse grid for nearest-node lookup.

@@ -80,12 +80,12 @@ func TestGraphCosterEmptyGraph(t *testing.T) {
 	}
 }
 
-func TestGraphCosterCacheReset(t *testing.T) {
+func TestGraphCosterCacheEviction(t *testing.T) {
 	g := GenerateGridNetwork(GridNetworkConfig{Rows: 8, Cols: 8, Seed: 2})
 	c := NewGraphCoster(g)
 	c.CacheSize = 2
 	rng := rand.New(rand.NewSource(3))
-	// Exercise cache eviction; values must stay correct afterwards.
+	// Exercise clock eviction churn; values must stay correct afterwards.
 	for i := 0; i < 10; i++ {
 		na := NodeID(rng.Intn(g.NumNodes()))
 		nb := NodeID(rng.Intn(g.NumNodes()))

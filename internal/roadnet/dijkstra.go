@@ -64,19 +64,51 @@ func (g *Graph) ShortestPath(src, dst NodeID) (float64, bool) {
 // +Inf for unreachable ones. Used to precompute region-to-region travel
 // matrices.
 func (g *Graph) ShortestPathTree(src NodeID) []float64 {
-	dist := make([]float64, g.NumNodes())
+	dist, _, _ := g.dijkstraFrom(src, nil, 0)
+	return dist
+}
+
+// dijkstraFrom is the shared Dijkstra core. With a nil needed mask it
+// expands the full tree. With a mask it runs truncated: the scan stops
+// as soon as the remaining marked nodes have all been settled, so dist
+// entries are exact for every settled node (which includes every
+// reachable marked node) and tentative or +Inf elsewhere. Truncation
+// never changes settled values — the run is identical to a full tree up
+// to the early exit — so batch queries answered from partial trees are
+// bitwise-equal to full-tree answers.
+//
+// settled counts finalized nodes: the unit of shortest-path work
+// GraphCoster.Stats reports. horizon is the exact-coverage bound of the
+// returned slice: every entry with dist <= horizon equals its final
+// shortest-path value (pops are non-decreasing, so nodes finalized
+// before the early exit lie at or below the distance it fired at, and
+// an unsettled node's tentative value can only tie the bound when it is
+// already final). A run that drained the queue — full tree, or a
+// truncated run whose targets exhausted the reachable graph — reports
+// +Inf: every entry is final, including the +Inf of unreachable nodes.
+func (g *Graph) dijkstraFrom(src NodeID, needed []bool, remaining int) (dist []float64, settled int, horizon float64) {
+	horizon = math.Inf(1)
+	dist = make([]float64, g.NumNodes())
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	if src < 0 || int(src) >= g.NumNodes() {
-		return dist
+		return dist, 0, horizon
 	}
 	dist[src] = 0
 	pq := priorityQueue{{node: src, dist: 0}}
 	for len(pq) > 0 {
 		item := heap.Pop(&pq).(pqItem)
 		if item.dist > dist[item.node] {
-			continue
+			continue // stale entry
+		}
+		settled++
+		if needed != nil && needed[item.node] {
+			remaining--
+			if remaining <= 0 {
+				horizon = item.dist
+				break
+			}
 		}
 		for _, e := range g.arcs(item.node) {
 			nd := item.dist + e.cost
@@ -86,7 +118,7 @@ func (g *Graph) ShortestPathTree(src NodeID) []float64 {
 			}
 		}
 	}
-	return dist
+	return dist, settled, horizon
 }
 
 // Route returns the node sequence of a shortest src->dst path, inclusive

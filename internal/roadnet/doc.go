@@ -9,4 +9,13 @@
 // Coster, which is either graph-backed (shortest-path travel time) or the
 // cheaper great-circle approximation at a configured speed. Both are
 // provided here so experiments can ablate the choice.
+//
+// The hot path is batched: BatchCoster prices a whole sources×targets
+// matrix in one call, which GraphCoster serves by snapping every
+// endpoint once, deduplicating source nodes, and running one truncated
+// Dijkstra per unique uncached source on a parallel worker pool —
+// bitwise-identical to per-pair Cost queries, with several times less
+// shortest-path work (see GraphCoster.Stats and BENCH_dispatch.json).
+// Single-pair Cost remains the compatibility shim, memoizing full trees
+// under clock (second-chance) eviction.
 package roadnet

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/trace"
+)
+
+// pairOnlyCoster hides a coster's BatchCoster implementation, forcing
+// the engine through the per-pair compatibility loop.
+type pairOnlyCoster struct{ c roadnet.Coster }
+
+func (p pairOnlyCoster) Cost(a, b geo.Point) float64 { return p.c.Cost(a, b) }
+
+// TestEngineBatchCostingParity is the end-to-end form of the BatchCoster
+// equivalence contract: a run whose coster prices batches natively
+// (truncated, deduplicated, parallel Dijkstras) must produce a Summary
+// identical — not approximately, identical — to the same run forced
+// through single-pair Cost calls. Randomized over scenarios and over
+// both built-in costers.
+func TestEngineBatchCostingParity(t *testing.T) {
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Rows: 16, Cols: 16, Seed: 23})
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		orders, drivers := randomScenario(rng)
+		costers := []roadnet.Coster{
+			roadnet.NewGraphCoster(g),
+			roadnet.NewDefaultCoster(),
+		}
+		for _, c := range costers {
+			cfg := simpleConfig()
+			cfg.Horizon = 4000
+			cfg.Coster = c
+			mBatch, err := New(cfg, orders, drivers).Run(context.Background(), takeAll{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Coster = pairOnlyCoster{c}
+			mPair, err := New(cfg, orders, drivers).Run(context.Background(), takeAll{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mBatch.Summary() != mPair.Summary() {
+				t.Fatalf("trial %d: batch summary %+v != per-pair summary %+v",
+					trial, mBatch.Summary(), mPair.Summary())
+			}
+		}
+	}
+}
+
+// TestEngineCandidateCap checks the k-nearest pre-filter: a capped run
+// still satisfies every invariant and never builds more pairs per rider
+// than the cap allows.
+func TestEngineCandidateCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	orders, drivers := randomScenario(rng)
+	cfg := simpleConfig()
+	cfg.Horizon = 4000
+	cfg.CandidateCap = 3
+	e := New(cfg, orders, drivers)
+	m, err := e.Run(context.Background(), takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRunInvariants(t, e, m)
+
+	// The cap also bounds Pairs per rider below MaxCandidatesPerRider.
+	cfg2 := simpleConfig()
+	cfg2.CandidateCap = 1
+	e2 := NewWithSource(cfg2, NewSliceSource(orders), drivers)
+	e2.admitOrders(3500) // pull in (almost) the whole trace
+	ctx := e2.buildContext(3500)
+	if len(ctx.Riders) == 0 {
+		t.Fatal("no waiting riders admitted")
+	}
+	perRider := map[int32]int{}
+	for _, p := range ctx.Pairs {
+		perRider[p.R]++
+		if perRider[p.R] > 1 {
+			t.Fatalf("rider %d has %d pairs with CandidateCap=1", p.R, perRider[p.R])
+		}
+	}
+}
+
+// TestEngineBatchCostingWarmWork pins the cross-batch reuse property:
+// over a full run — where riders wait across many batches and idle
+// drivers stay put — the batch path's total shortest-path work
+// (settled nodes) must stay within a few percent of warm per-pair
+// costing, whose cached full trees served stationary drivers before
+// the batch engine existed. (Without horizon-cached batch trees this
+// ratio was ~3x.) The small allowance covers hot sources that pay a
+// truncated run before being promoted to a full tree.
+func TestEngineBatchCostingWarmWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	orders, drivers := randomScenario(rng)
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Rows: 30, Cols: 30, Seed: 23})
+
+	run := func(c roadnet.Coster) {
+		cfg := simpleConfig()
+		cfg.Horizon = 4000
+		cfg.Coster = c
+		if _, err := New(cfg, orders, drivers).Run(context.Background(), takeAll{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batchC := roadnet.NewGraphCoster(g)
+	run(batchC)
+	pairC := roadnet.NewGraphCoster(g)
+	run(pairOnlyCoster{pairC})
+
+	b, p := batchC.Stats(), pairC.Stats()
+	t.Logf("settled nodes over the run: batch %d (%d runs, %d hits), per-pair %d (%d trees, %d hits)",
+		b.SettledNodes, b.PartialTrees, b.CacheHits, p.SettledNodes, p.Trees, p.CacheHits)
+	if b.SettledNodes > p.SettledNodes+p.SettledNodes/10 {
+		t.Errorf("batch path settled %d nodes, more than 1.1x warm per-pair's %d", b.SettledNodes, p.SettledNodes)
+	}
+}
+
+// countingBatchCoster is a custom BatchCoster without the
+// PerSourceAmortized opt-out — the documented contract is one dense
+// Costs call per batch (think: a remote routing service batching RPCs).
+type countingBatchCoster struct {
+	roadnet.Coster
+	batchCalls int
+	pairCalls  int
+}
+
+func (c *countingBatchCoster) Cost(a, b geo.Point) float64 {
+	c.pairCalls++
+	return c.Coster.Cost(a, b)
+}
+
+func (c *countingBatchCoster) Costs(sources, targets []geo.Point) [][]float64 {
+	c.batchCalls++
+	out := make([][]float64, len(sources))
+	for i, s := range sources {
+		out[i] = make([]float64, len(targets))
+		for j, t := range targets {
+			out[i][j] = c.Coster.Cost(s, t)
+		}
+	}
+	return out
+}
+
+// TestEngineHonorsCustomBatchCoster pins the API promise that a custom
+// native BatchCoster is priced through one Costs call per batch, never
+// per-pair Cost queries in the candidate loop.
+func TestEngineHonorsCustomBatchCoster(t *testing.T) {
+	pickup := center()
+	orders := []trace.Order{{
+		ID: 0, PostTime: 10, Pickup: pickup,
+		Dropoff:  offset(pickup, 2000),
+		Deadline: 130,
+	}}
+	cc := &countingBatchCoster{Coster: roadnet.NewDefaultCoster()}
+	cfg := simpleConfig()
+	cfg.Coster = cc
+	e := NewWithSource(cfg, NewSliceSource(orders), []geo.Point{offset(pickup, 400)})
+	e.admitOrders(11)
+	cc.pairCalls = 0 // ignore the admission-time TripCost query
+	ctx := e.buildContext(11)
+	if cc.batchCalls != 1 {
+		t.Fatalf("custom BatchCoster got %d Costs calls, want 1", cc.batchCalls)
+	}
+	if cc.pairCalls != 0 {
+		t.Fatalf("candidate pricing made %d per-pair Cost calls, want 0", cc.pairCalls)
+	}
+	if len(ctx.Pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1", len(ctx.Pairs))
+	}
+}
+
+// TestContextPickupCostMatrixAndFallback covers the CostMatrix accessors
+// and the Coster fallback for pairs outside the priced candidate set.
+func TestContextPickupCostMatrixAndFallback(t *testing.T) {
+	pickup := center()
+	orders := []trace.Order{{
+		ID: 0, PostTime: 10, Pickup: pickup,
+		Dropoff:  offset(pickup, 2000),
+		Deadline: 130,
+	}}
+	near := offset(pickup, 400)
+	far := offset(pickup, 30000) // outside any patience radius
+	e := NewWithSource(simpleConfig(), NewSliceSource(orders), []geo.Point{near, far})
+	e.admitOrders(11)
+	ctx := e.buildContext(11)
+	if len(ctx.Riders) != 1 || len(ctx.Drivers) != 2 {
+		t.Fatalf("context has %d riders / %d drivers", len(ctx.Riders), len(ctx.Drivers))
+	}
+	// The near driver is priced in the matrix.
+	want := ctx.Coster.Cost(near, pickup)
+	if got, ok := ctx.PickupCosts.Cost(0, 0); !ok || got != want {
+		t.Fatalf("matrix cost = %v (ok=%v), want %v", got, ok, want)
+	}
+	if row := ctx.PickupCosts.Row(0); len(row) != 1 || row[0] != want {
+		t.Fatalf("matrix row = %v, want [%v]", row, want)
+	}
+	// The far driver never became a candidate: no row, and PickupCost
+	// falls back to a live Coster query with the same answer.
+	if row := ctx.PickupCosts.Row(1); row != nil {
+		t.Fatalf("far driver has matrix row %v, want none", row)
+	}
+	// (The engine clamps starts to the grid, so compare against the
+	// driver's actual position, not the raw far point.)
+	if got := ctx.PickupCost(1, 0); got != ctx.Coster.Cost(ctx.Drivers[1].Pos, pickup) {
+		t.Fatalf("fallback pickup cost = %v", got)
+	}
+}

@@ -1,9 +1,42 @@
 package sim
 
 import (
+	"math"
+
 	"mrvd/internal/geo"
 	"mrvd/internal/roadnet"
 )
+
+// CostMatrix is a batch's dense driver-to-pickup travel-cost matrix,
+// computed once per batch through roadnet.BatchCoster instead of
+// per-pair Coster calls in inner loops. Rows are the batch's candidate
+// drivers, columns its waiting riders (column index = rider index).
+type CostMatrix struct {
+	rows      [][]float64
+	driverRow []int32 // driver slot -> row index, -1 when not a candidate
+}
+
+// Row returns driver slot d's cost row over the batch's riders, or nil
+// when d was not a pricing candidate for any rider. Cells the batch
+// didn't price (non-candidate pairs under a sparsely-filled closed-form
+// coster) hold NaN. The slice is shared with the engine; callers must
+// not mutate it.
+func (m *CostMatrix) Row(d int32) []float64 {
+	if m == nil || d < 0 || int(d) >= len(m.driverRow) || m.driverRow[d] < 0 {
+		return nil
+	}
+	return m.rows[m.driverRow[d]]
+}
+
+// Cost returns the priced pickup cost for (driver slot d, rider r) and
+// whether the matrix covers that pair.
+func (m *CostMatrix) Cost(d, r int32) (float64, bool) {
+	row := m.Row(d)
+	if row == nil || r < 0 || int(r) >= len(row) || math.IsNaN(row[r]) {
+		return 0, false
+	}
+	return row[r], true
+}
 
 // Context is the batch snapshot handed to a Dispatcher: the waiting
 // riders, available drivers, precomputed valid pairs, per-region counts,
@@ -13,9 +46,14 @@ type Context struct {
 	Now  float64
 	TC   float64 // scheduling window length t_c in seconds
 	Grid *geo.Grid
-	// Coster prices travel; dispatchers may use it for what-if costs,
-	// though every valid pair already carries its two legs.
+	// Coster prices travel for what-if costs the batch didn't cover;
+	// every valid pair already carries its two legs, and candidate
+	// pickup costs sit in PickupCosts — prefer PickupCost over calling
+	// Coster.Cost in inner loops.
 	Coster roadnet.Coster
+	// PickupCosts is the batch's precomputed driver-to-pickup cost
+	// matrix; PickupCost is the checked accessor over it.
+	PickupCosts *CostMatrix
 
 	// Riders are the batch's waiting riders; Drivers its available
 	// drivers. Dispatchers must treat both as read-only.
@@ -50,6 +88,16 @@ type Dispatcher interface {
 	// may appear at most once; every (R, D) must come from ctx.Pairs
 	// unless IgnorePickup is set.
 	Assign(ctx *Context) []Assignment
+}
+
+// PickupCost returns the travel cost from driver slot d to rider r's
+// pickup. Pairs the batch matrix covers are O(1) lookups; anything else
+// falls back to a single-pair Coster query.
+func (ctx *Context) PickupCost(d, r int32) float64 {
+	if v, ok := ctx.PickupCosts.Cost(d, r); ok {
+		return v
+	}
+	return ctx.Coster.Cost(ctx.Drivers[d].Pos, ctx.Riders[r].Order.Pickup)
 }
 
 // PairsByRider returns the slice of ctx.Pairs for one rider index,

@@ -1,11 +1,16 @@
 // Package sim is the dynamic car-hailing simulator: it replays an order
 // trace against a fleet of drivers under the paper's batch-based
 // processing model (Algorithm 1). Every Delta seconds the engine collects
-// waiting riders and available drivers, precomputes the valid
-// rider-and-driver pairs of Definition 3 (driver can reach the pickup
-// before the rider's deadline), and hands a batch Context to a pluggable
-// Dispatcher. Committed assignments make drivers busy for the pickup leg
-// plus the trip; riders not picked before their deadline renege.
+// waiting riders and available drivers, prunes candidate drivers per
+// rider on the spatial index (patience radius, optional k-nearest cap),
+// prices the whole driver×rider pickup-cost matrix in one
+// roadnet.BatchCoster call, and derives the valid rider-and-driver
+// pairs of Definition 3 (driver can reach the pickup before the rider's
+// deadline) as feasibility-filtered matrix lookups. The batch Context —
+// pairs, matrix, per-region counts and predictions — goes to a
+// pluggable Dispatcher. Committed assignments make drivers busy for the
+// pickup leg plus the trip; riders not picked before their deadline
+// renege.
 //
 // The engine keeps a per-driver idle ledger (idle time between rejoining
 // the platform and the next assignment — the quantity Section 4's

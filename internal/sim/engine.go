@@ -19,6 +19,11 @@ type Config struct {
 	// Grid partitions the city; nil defaults to the paper's 16x16 NYC grid.
 	Grid *geo.Grid
 	// Coster prices travel; nil defaults to roadnet.NewDefaultCoster().
+	// Costers that implement roadnet.BatchCoster are priced one
+	// many-to-many matrix per batch unless they opt out through
+	// roadnet.PerSourceAmortized; plain Costers keep working through a
+	// per-pair compatibility loop. See buildContext for the exact
+	// dense-versus-lazy pricing rules.
 	Coster roadnet.Coster
 	// Delta is the batch interval in seconds (default 3, Table 2).
 	Delta float64
@@ -29,6 +34,15 @@ type Config struct {
 	// MaxCandidatesPerRider caps valid pairs per rider to the nearest
 	// feasible drivers (default 12). It bounds batch cost at scale.
 	MaxCandidatesPerRider int
+	// CandidateCap, when positive, prices only the CandidateCap nearest
+	// drivers per rider — a k-nearest pre-filter on the spatial index
+	// applied before the deadline-feasibility check. The default 0
+	// prices every driver within the rider's patience radius, which
+	// keeps exact parity with per-pair costing; a cap bounds pricing
+	// work per order for very large fleets at the cost of occasionally
+	// missing a feasible far driver when nearer ones are
+	// deadline-infeasible.
+	CandidateCap int
 	// RadiusSpeedMPS converts a rider's remaining patience into the
 	// search radius for feasible drivers. It must upper-bound the real
 	// travel speed or feasible pairs are missed (default 12).
@@ -132,7 +146,15 @@ type Engine struct {
 	cfg     Config
 	src     OrderSource
 	srcDone bool
-	drivers []Driver
+	// batch is the many-to-many view of cfg.Coster: native when the
+	// coster implements roadnet.BatchCoster, a per-pair compatibility
+	// loop otherwise. denseBatch records the construction-time pricing
+	// policy: one dense Costs call per batch for native BatchCosters
+	// (unless they opt out via roadnet.PerSourceAmortized), lazy
+	// cell-by-cell pricing otherwise.
+	batch      roadnet.BatchCoster
+	denseBatch bool
+	drivers    []Driver
 
 	idx     *geo.Index // available drivers
 	busy    completionHeap
@@ -171,9 +193,16 @@ func NewWithSource(cfg Config, src OrderSource, driverStarts []geo.Point) *Engin
 	e := &Engine{
 		cfg:          cfg,
 		src:          src,
+		batch:        roadnet.AsBatchCoster(cfg.Coster),
 		idx:          geo.NewIndex(cfg.Grid),
 		futureRejoin: make([][]float64, cfg.Grid.NumRegions()),
 		openIdle:     make(map[DriverID]int),
+	}
+	if _, native := cfg.Coster.(roadnet.BatchCoster); native {
+		e.denseBatch = true
+		if a, ok := cfg.Coster.(roadnet.PerSourceAmortized); ok {
+			e.denseBatch = a.AmortizesPerSource()
+		}
 	}
 	if len(cfg.Shifts) > 0 {
 		if len(cfg.Shifts) != len(driverStarts) {
@@ -354,7 +383,9 @@ func (e *Engine) renegeExpired(now float64) {
 	e.waiting = kept
 }
 
-// buildContext snapshots the batch state and precomputes valid pairs.
+// buildContext snapshots the batch state, prices the batch's
+// driver-to-pickup cost matrix in one BatchCoster call, and precomputes
+// valid pairs as matrix lookups.
 func (e *Engine) buildContext(now float64) *Context {
 	grid := e.cfg.Grid
 	n := grid.NumRegions()
@@ -386,9 +417,14 @@ func (e *Engine) buildContext(now float64) *Context {
 		}
 	}
 
-	// Waiting riders and their valid pairs.
-	for _, r := range e.waiting {
-		ri := int32(len(ctx.Riders))
+	// Waiting riders and their candidate drivers. Candidates come from
+	// the spatial index — every available driver within the radius the
+	// rider's remaining patience allows, optionally pre-filtered to the
+	// CandidateCap nearest — and are priced below in one many-to-many
+	// batch instead of per-pair Coster calls.
+	cand := make([][]geo.Neighbor, len(e.waiting))
+	targets := make([]geo.Point, len(e.waiting))
+	for wi, r := range e.waiting {
 		ctx.Riders = append(ctx.Riders, r)
 		pickupRegion := grid.Region(grid.Bounds().Clamp(r.Order.Pickup))
 		ctx.RiderRegion = append(ctx.RiderRegion, pickupRegion)
@@ -396,20 +432,78 @@ func (e *Engine) buildContext(now float64) *Context {
 
 		slack := r.Order.Deadline - now
 		radius := slack * e.cfg.RadiusSpeedMPS
-		neighbors := e.idx.Within(r.Order.Pickup, radius)
+		if e.cfg.CandidateCap > 0 {
+			cand[wi] = e.idx.Nearest(r.Order.Pickup, e.cfg.CandidateCap, radius)
+		} else {
+			cand[wi] = e.idx.Within(r.Order.Pickup, radius)
+		}
+		targets[wi] = r.Order.Pickup
+	}
+
+	// The batch's unique candidate drivers, in first-appearance order,
+	// form the cost matrix's source rows.
+	driverRow := make([]int32, len(ctx.Drivers))
+	for i := range driverRow {
+		driverRow[i] = -1
+	}
+	var sources []geo.Point
+	for _, ns := range cand {
+		for _, nb := range ns {
+			if slot := driverSlot[nb.ID]; driverRow[slot] == -1 {
+				driverRow[slot] = int32(len(sources))
+				sources = append(sources, ctx.Drivers[slot].Pos)
+			}
+		}
+	}
+
+	// Price the matrix. Dense mode (see denseBatch) issues the one
+	// Costs call per batch the API documents — that is what lets a
+	// graph coster amortize one truncated Dijkstra per unique source,
+	// or a remote coster batch its round-trips. Lazy mode (closed
+	// forms, per-pair shims: O(1) per cell, nothing to amortize) prices
+	// in the pair loop below exactly the cells it reads, with rows
+	// allocated on first touch; CostMatrix reports unpriced cells as
+	// uncovered. Either way the priced values are bitwise-identical to
+	// per-pair Coster queries.
+	var costs [][]float64
+	if e.denseBatch {
+		costs = e.batch.Costs(sources, targets)
+	} else {
+		costs = make([][]float64, len(sources))
+	}
+	ctx.PickupCosts = &CostMatrix{rows: costs, driverRow: driverRow}
+
+	// Valid pairs (Definition 3) become matrix lookups: a candidate is
+	// kept while the driver can reach the pickup before the deadline,
+	// up to MaxCandidatesPerRider feasible pairs per rider. Lazily
+	// priced cells preserve the per-pair path's work profile — pricing
+	// stops with the cap, not at the radius.
+	for wi, r := range e.waiting {
 		found := 0
-		for _, nb := range neighbors {
+		for _, nb := range cand[wi] {
 			if found >= e.cfg.MaxCandidatesPerRider {
 				break
 			}
-			drv := &e.drivers[nb.ID]
-			pc := e.cfg.Coster.Cost(drv.Pos, r.Order.Pickup)
+			slot := driverSlot[nb.ID]
+			row := costs[driverRow[slot]]
+			if row == nil {
+				row = make([]float64, len(targets))
+				for j := range row {
+					row[j] = math.NaN()
+				}
+				costs[driverRow[slot]] = row
+			}
+			pc := row[wi]
+			if math.IsNaN(pc) {
+				pc = e.cfg.Coster.Cost(e.drivers[nb.ID].Pos, targets[wi])
+				row[wi] = pc
+			}
 			if now+pc > r.Order.Deadline {
 				continue
 			}
 			ctx.Pairs = append(ctx.Pairs, Pair{
-				R:          ri,
-				D:          driverSlot[nb.ID],
+				R:          int32(wi),
+				D:          slot,
 				PickupCost: pc,
 				TripCost:   r.TripCost,
 				DestRegion: r.DestRegion,
@@ -473,7 +567,10 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 
 		pickupCost := 0.0
 		if !a.IgnorePickup {
-			pickupCost = e.cfg.Coster.Cost(drv.Pos, rider.Order.Pickup)
+			// The batch matrix already priced every candidate pair; only
+			// assignments outside it (custom dispatchers straying from
+			// ctx.Pairs) fall back to a fresh Coster query.
+			pickupCost = ctx.PickupCost(a.D, a.R)
 			if now+pickupCost > rider.Order.Deadline {
 				return fmt.Errorf("sim: driver %d cannot reach rider %d before deadline (%.1f > %.1f)",
 					drv.ID, rider.Order.ID, now+pickupCost, rider.Order.Deadline)

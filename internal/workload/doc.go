@@ -10,4 +10,16 @@
 // demand predictors (package predict) have the metadata signal DeepST
 // exploits. Counts-only generation lets months of training history be
 // produced without materializing tens of millions of Order values.
+//
+// # Typical use
+//
+// NewCity builds the demand model from a CityConfig (the zero value is
+// the scaled NYC-like default). GenerateDay materializes one day's
+// Order trace for a day index — the index, not the RNG, drives the
+// day-of-week and weather factors, so replaying a day is
+// deterministic. InitialDrivers samples a fleet's starting positions
+// from a trace's pickup distribution (the paper's initialization,
+// Section 6.2), and ExpectedDayCounts exposes the noiseless per-slot
+// intensities that back the oracle prediction mode. Everything
+// downstream reaches this package through core.Options.City.
 package workload

@@ -62,6 +62,9 @@ func WithHorizon(seconds float64) Option {
 // WithCoster sets the travel-cost backend (default Manhattan distance at
 // urban speed). For Sweep, the coster is shared across parallel runs and
 // must be safe for concurrent use; DefaultCoster and GraphCoster are.
+// Costers implementing BatchCoster are priced one many-to-many matrix
+// per batch (unless they opt out via PerSourceAmortized); plain
+// Costers go through a per-pair compatibility loop.
 func WithCoster(c Coster) Option { return func(s *Service) { s.opts.Coster = c } }
 
 // WithSeed sets the instance seed for trace sampling and driver starts
