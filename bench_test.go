@@ -236,6 +236,49 @@ func BenchmarkBatchCosts(b *testing.B) {
 	})
 }
 
+// BenchmarkServeSubmit measures the in-process serving hot path: one
+// ServeHandle.Submit plus the await of its terminal outcome against a
+// live free-running engine — the submit-to-assignment round trip the
+// HTTP gateway adds its network edge on top of (see
+// internal/server.BenchmarkGatewayThroughput and BENCH_serve.json).
+func BenchmarkServeSubmit(b *testing.B) {
+	svc, err := NewService(
+		WithCity(NewCity(CityConfig{OrdersPerDay: 2000, Seed: 17})),
+		WithFleet(256),
+		WithBatchInterval(3),
+		WithHorizon(1e12), // never reached: the deferred cancel ends the session
+		WithPrediction(PredictNone, nil),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	starts := make([]Point, 256)
+	for i := range starts {
+		starts[i] = Point{Lng: -73.98 + float64(i%16)*1e-3, Lat: 40.74 + float64(i/16)*1e-3}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h, err := svc.Start(ctx, "NEAR", starts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := h.Clock()
+		_, ch, err := h.Submit(Order{
+			PostTime: now,
+			Pickup:   Point{Lng: -73.97, Lat: 40.75},
+			Dropoff:  Point{Lng: -73.95, Lat: 40.77},
+			Deadline: now + 1e9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-ch
+	}
+}
+
 // BenchmarkDispatchCycle runs one hour of full engine batch cycles —
 // order admission, candidate pruning, batched pickup costing, IRG
 // assignment, commitment — over a 28K-order day at 200 drivers, under

@@ -1,0 +1,89 @@
+// Command mrvd-load drives an mrvd-serve gateway with a YCSB-style
+// workload: concurrent clients submit spatially realistic orders over
+// HTTP — closed-loop or Poisson open-loop — long-poll each order's
+// outcome, and report throughput plus p50/p95/p99 submit-to-assignment
+// wall latencies.
+//
+// Usage:
+//
+//	mrvd-load [-url http://127.0.0.1:8080] [-n 200] [-c 8] [-rate 0]
+//	          [-patience 600] [-orders-per-day 2000] [-seed 1]
+//	          [-timeout 120s] [-json report.json]
+//
+// -rate 0 is closed-loop (each client submits as soon as its previous
+// order resolves); a positive -rate is the aggregate Poisson arrival
+// intensity in submissions/sec. Patience is engine seconds: against a
+// real-time gateway (mrvd-serve -pace 1) it is wall seconds too.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"mrvd"
+	"mrvd/internal/load"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "gateway base URL")
+		n        = flag.Int("n", 200, "total orders to submit")
+		c        = flag.Int("c", 8, "concurrent clients")
+		rate     = flag.Float64("rate", 0, "aggregate Poisson arrival rate per second (0 = closed loop)")
+		patience = flag.Float64("patience", 600, "pickup patience per order (engine seconds)")
+		perDay   = flag.Int("orders-per-day", 2000, "synthetic city scale for the spatial distribution")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		timeout  = flag.Duration("timeout", 120*time.Second, "per-order wait bound")
+		jsonPath = flag.String("json", "", "also write the full report as JSON to this file")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := load.Run(ctx, load.Config{
+		BaseURL:     *url,
+		Orders:      *n,
+		Concurrency: *c,
+		Rate:        *rate,
+		Patience:    *patience,
+		City:        mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: *perDay, Seed: 17}),
+		Seed:        *seed,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrvd-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("orders:      %d in %.2fs (%.1f/s)\n", rep.Orders, rep.ElapsedSeconds, rep.Throughput)
+	fmt.Printf("assigned:    %d\n", rep.Assigned)
+	fmt.Printf("expired:     %d\n", rep.Expired)
+	fmt.Printf("pending:     %d (wait timed out)\n", rep.Pending)
+	fmt.Printf("rejected:    %d (429 backpressure)\n", rep.Rejected)
+	fmt.Printf("errors:      %d\n", rep.Errors)
+	l := rep.Latency
+	fmt.Printf("latency ms:  p50=%.2f  p95=%.2f  p99=%.2f  mean=%.2f  max=%.2f  (n=%d)\n",
+		l.P50MS, l.P95MS, l.P99MS, l.MeanMS, l.MaxMS, l.Count)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrvd-load: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "mrvd-load: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("report:      %s\n", *jsonPath)
+	}
+}

@@ -1,0 +1,119 @@
+// Command mrvd-serve exposes the dispatch engine as an HTTP service: a
+// live Serve session behind the internal/server gateway. Riders submit
+// orders with POST /v1/orders (add ?wait=true to long-poll the
+// assignment), observability comes from GET /v1/orders/{id},
+// /v1/drivers, /v1/stats and the /v1/events SSE stream, and a full
+// pending queue answers 429.
+//
+// Usage:
+//
+//	mrvd-serve [-addr :8080] [-alg LS] [-drivers 100] [-orders 28000]
+//	           [-delta 3] [-pace 1] [-horizon 86400] [-max-pending 1024]
+//	           [-patience 300] [-road] [-seed 1]
+//
+// By default the engine is paced to real time (-pace 1), so engine
+// seconds are wall seconds and order patience behaves like a wall
+// clock. -pace 0 free-runs (useful with the load harness, see
+// cmd/mrvd-load); larger factors compress time. Ctrl-C drains and
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"mrvd"
+	"mrvd/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		alg        = flag.String("alg", "LS", "dispatch algorithm")
+		drivers    = flag.Int("drivers", 100, "fleet size")
+		orders     = flag.Int("orders", 28000, "synthetic city demand (orders/day), shapes prediction")
+		delta      = flag.Float64("delta", 3, "batch interval (engine seconds)")
+		pace       = flag.Float64("pace", 1, "engine seconds per wall second (0 = free-run)")
+		horizon    = flag.Float64("horizon", 24*3600, "serve session length (engine seconds)")
+		maxPending = flag.Int("max-pending", 1024, "in-flight order bound before 429")
+		patience   = flag.Float64("patience", 300, "default pickup patience (engine seconds)")
+		road       = flag.Bool("road", false, "price travel on the synthetic road network instead of closed-form")
+		seed       = flag.Int64("seed", 1, "instance seed")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []mrvd.Option{
+		mrvd.WithCity(mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: *orders, Seed: 31})),
+		mrvd.WithFleet(*drivers),
+		mrvd.WithBatchInterval(*delta),
+		mrvd.WithHorizon(*horizon),
+		mrvd.WithSeed(*seed),
+		mrvd.WithPrediction(mrvd.PredictNone, nil),
+	}
+	if *pace > 0 {
+		opts = append(opts, mrvd.WithPace(*pace))
+	}
+	if *road {
+		opts = append(opts, mrvd.WithCoster(mrvd.GraphCoster(*seed)))
+	}
+	svc, err := mrvd.NewService(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := server.New(ctx, svc, server.Config{
+		Algorithm:       *alg,
+		Fleet:           *drivers,
+		MaxPending:      *maxPending,
+		DefaultPatience: *patience,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	go func() {
+		// Ctrl-C or the session ending on its own (horizon reached,
+		// drain) stops accepting; the gateway result below then
+		// reports how the session went.
+		select {
+		case <-ctx.Done():
+		case <-srv.Handle().Done():
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("mrvd-serve: %s dispatch on %s (fleet %d, delta %.1fs, pace %.1fx, max-pending %d)\n",
+		*alg, *addr, *drivers, *delta, *pace, *maxPending)
+	fmt.Printf("  POST %s/v1/orders  {\"pickup\":{\"lng\":..,\"lat\":..},\"dropoff\":{..}}  (?wait=true to long-poll)\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+
+	m, err := srv.Result()
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		fmt.Println("mrvd-serve: session canceled, shut down cleanly")
+	case err != nil:
+		fatal(err)
+	default:
+		fmt.Printf("mrvd-serve: session over: %d submitted, %d served, %d expired, revenue %.0f\n",
+			m.TotalOrders, m.Served, m.Reneged, m.Revenue)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mrvd-serve: %v\n", err)
+	os.Exit(1)
+}

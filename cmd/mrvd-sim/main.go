@@ -88,7 +88,10 @@ func main() {
 		}
 		svcOpts = append(svcOpts, mrvd.WithOrders(external, nil))
 	}
-	svc := mrvd.NewService(svcOpts...)
+	svc, err := mrvd.NewService(svcOpts...)
+	if err != nil {
+		fatal(err)
+	}
 
 	// History and trained predictors are built by the first algorithm's
 	// runner and shared with the rest.

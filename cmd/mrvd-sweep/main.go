@@ -43,12 +43,16 @@ func main() {
 	if strings.EqualFold(*pred, "none") {
 		mode = mrvd.PredictNone
 	}
-	svc := mrvd.NewService(
+	svc, err := mrvd.NewService(
 		mrvd.WithCity(mrvd.NewCity(mrvd.CityConfig{
 			OrdersPerDay: *orders, BaseWaitSeconds: *tau, Seed: 31,
 		})),
 		mrvd.WithBatchInterval(*delta),
 	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrvd-sweep: %v\n", err)
+		os.Exit(1)
+	}
 
 	spec := mrvd.SweepSpec{
 		Algorithms: splitList(*algs),

@@ -13,12 +13,15 @@ import (
 // configuration is also valid — it gives the scaled NYC-like default.
 func ExampleNewService() {
 	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 2000, Seed: 1})
-	svc := mrvd.NewService(
+	svc, err := mrvd.NewService(
 		mrvd.WithCity(city),
 		mrvd.WithFleet(20),
 		mrvd.WithBatchInterval(3),
 		mrvd.WithSchedulingWindow(1200),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(svc.Options().NumDrivers, "drivers")
 	fmt.Println("algorithms:", mrvd.AlgorithmNames())
 	// Output:
@@ -32,11 +35,14 @@ func ExampleNewService() {
 // configuration always yield the same Summary.
 func ExampleService_Run() {
 	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 1000, Seed: 1})
-	svc := mrvd.NewService(
+	svc, err := mrvd.NewService(
 		mrvd.WithCity(city),
 		mrvd.WithFleet(30),
 		mrvd.WithHorizon(1800), // half an hour of simulated time
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	m, err := svc.Run(context.Background(), "IRG")
 	if err != nil {
 		log.Fatal(err)

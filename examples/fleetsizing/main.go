@@ -25,10 +25,13 @@ func main() {
 	fleets := []int{50, 100, 200, 350, 500}
 	algs := []string{"LS", "NEAR", "RAND", "UPPER"}
 
-	svc := mrvd.NewService(
+	svc, err := mrvd.NewService(
 		mrvd.WithCity(city),
 		mrvd.WithBatchInterval(5),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	results, err := svc.Sweep(context.Background(), mrvd.SweepSpec{
 		Algorithms: algs,
 		Fleets:     fleets,

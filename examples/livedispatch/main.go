@@ -82,7 +82,7 @@ func main() {
 		},
 	}
 
-	svc := mrvd.NewService(
+	svc, err := mrvd.NewService(
 		mrvd.WithCity(city),
 		mrvd.WithFleet(120),
 		mrvd.WithBatchInterval(3),
@@ -90,6 +90,9 @@ func main() {
 		mrvd.WithPrediction(mrvd.PredictNone, nil),
 		mrvd.WithObserver(observer),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Position the fleet where the burst will happen — a live platform
 	// knows its demand geography. Serve also accepts nil to sample

@@ -22,12 +22,15 @@ func main() {
 	fmt.Println("morning-peak shortage: 42K daily orders, 120 drivers")
 	fmt.Printf("%-6s %14s %9s %10s %12s\n", "alg", "revenue", "served", "meanIdle", "% of UPPER")
 
-	svc := mrvd.NewService(
+	svc, err := mrvd.NewService(
 		mrvd.WithCity(city),
 		mrvd.WithFleet(120),
 		mrvd.WithBatchInterval(3),
 		mrvd.WithSeed(1),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var upper float64
 	byName := map[string]float64{}

@@ -23,12 +23,15 @@ func main() {
 	// A dispatch service over one generated day plus a 100-vehicle fleet
 	// starting at sampled pickup locations, fed real (oracle) demand
 	// forecasts — the paper's best configuration.
-	svc := mrvd.NewService(
+	svc, err := mrvd.NewService(
 		mrvd.WithCity(city),
 		mrvd.WithFleet(100),
 		mrvd.WithBatchInterval(3),       // batch every 3 seconds
 		mrvd.WithSchedulingWindow(1200), // 20-minute queueing-analysis window
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Run the paper's best algorithm: idle-ratio greedy refined by local
 	// search. The context cancels mid-run if needed (Ctrl-C, deadlines).

@@ -33,7 +33,11 @@ func main() {
 		if reposition {
 			opts = append(opts, mrvd.WithRepositioner(&dispatch.QueueReposition{}, 240))
 		}
-		m, err := mrvd.NewService(opts...).Run(context.Background(), "IRG")
+		svc, err := mrvd.NewService(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := svc.Run(context.Background(), "IRG")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,8 @@
+// Package load is a YCSB-style load harness for the HTTP dispatch
+// gateway (internal/server): concurrent workers submit orders over real
+// HTTP — spatially distributed like the synthetic city's demand, timed
+// by a configurable arrival process — long-poll each order's terminal
+// outcome, and report throughput plus p50/p95/p99 submit-to-assignment
+// wall latencies. cmd/mrvd-load is the CLI; the e2e acceptance test
+// drives it against an in-process gateway.
+package load

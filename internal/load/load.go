@@ -1,0 +1,257 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"mrvd/internal/trace"
+	"mrvd/internal/workload"
+)
+
+// Config parameterizes one load run against a gateway.
+type Config struct {
+	// BaseURL locates the gateway, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Orders is the total number of submissions (default 200).
+	Orders int
+	// Concurrency is the worker (client) count (default 8).
+	Concurrency int
+	// Rate, when positive, paces submissions as a Poisson process with
+	// this aggregate intensity (submissions/sec across all workers) —
+	// the open-loop arrival model. 0 runs closed-loop: each worker
+	// submits as soon as its previous order resolved. Like YCSB's
+	// target-throughput mode, arrivals queue once every worker is
+	// blocked on a long-poll, so the realized rate (Report.Throughput)
+	// falls below Rate unless Concurrency covers rate x latency —
+	// compare the two to detect saturation.
+	Rate float64
+	// Patience is the pickup patience stamped on each order, in engine
+	// seconds (default 600).
+	Patience float64
+	// City supplies the spatial order distribution: pickups and dropoffs
+	// are drawn from one generated day of its demand (default: the
+	// scaled NYC-like city at 2000 orders/day).
+	City *workload.City
+	// Seed drives the arrival process and spatial sampling (default 1).
+	Seed int64
+	// Timeout bounds each HTTP request, i.e. the longest a worker waits
+	// for one order's outcome (default 120s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject a loopback one).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Orders <= 0 {
+		c.Orders = 200
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Patience <= 0 {
+		c.Patience = 600
+	}
+	if c.City == nil {
+		c.City = workload.NewCity(workload.CityConfig{OrdersPerDay: 2000, Seed: 17})
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 120 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Result is one submission's fate as the harness observed it.
+type Result struct {
+	ID      int64         `json:"id"`
+	Status  string        `json:"status"` // assigned/expired/pending/rejected/error
+	Latency time.Duration `json:"-"`
+	// LatencyMS mirrors Latency for the JSON report.
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// Report aggregates one load run.
+type Report struct {
+	Orders         int     `json:"orders"`
+	Assigned       int     `json:"assigned"`
+	Expired        int     `json:"expired"`
+	Pending        int     `json:"pending"` // wait timed out while still pending
+	Rejected       int     `json:"rejected_429"`
+	Errors         int     `json:"errors"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Throughput counts completed submissions (any fate) per second.
+	Throughput float64 `json:"throughput_per_sec"`
+	// Latency summarizes submit-to-assignment wall latency over orders
+	// that reached a terminal state (assigned or expired).
+	Latency LatencySummary `json:"latency"`
+	// Results lists every submission in completion order.
+	Results []Result `json:"-"`
+}
+
+// submitBody mirrors the gateway's POST /v1/orders request.
+type submitBody struct {
+	Pickup          point   `json:"pickup"`
+	Dropoff         point   `json:"dropoff"`
+	PatienceSeconds float64 `json:"patience_seconds"`
+}
+
+type point struct {
+	Lng float64 `json:"lng"`
+	Lat float64 `json:"lat"`
+}
+
+// submitReply is the slice of the gateway's order response the harness
+// reads.
+type submitReply struct {
+	ID     int64  `json:"id"`
+	Status string `json:"status"`
+}
+
+// Run drives one load run and blocks until every order resolved (or
+// ctx is canceled, which stops issuing new submissions).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+
+	// The spatial workload: order endpoints from one generated day of
+	// the city's demand, recycled if the run outlasts the day.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	endpoints := cfg.City.GenerateDay(0, rng)
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("load: city generated an empty day")
+	}
+
+	// The arrival process: a token channel the workers pull from. Open
+	// loop (Rate > 0) releases tokens on exponential gaps — Poisson
+	// arrivals, YCSB's target-throughput mode; closed loop releases
+	// them all upfront.
+	tokens := make(chan int, cfg.Orders)
+	if cfg.Rate > 0 {
+		go func() {
+			arrivalRng := rand.New(rand.NewSource(cfg.Seed + 1))
+			defer close(tokens)
+			for i := 0; i < cfg.Orders; i++ {
+				gap := time.Duration(arrivalRng.ExpFloat64() / cfg.Rate * float64(time.Second))
+				select {
+				case <-time.After(gap):
+					tokens <- i
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		for i := 0; i < cfg.Orders; i++ {
+			tokens <- i
+		}
+		close(tokens)
+	}
+
+	var (
+		hist    Histogram
+		mu      sync.Mutex
+		report  = &Report{}
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+	record := func(r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		report.Results = append(report.Results, r)
+		switch r.Status {
+		case "assigned":
+			report.Assigned++
+		case "expired":
+			report.Expired++
+		case "pending":
+			report.Pending++
+		case "rejected":
+			report.Rejected++
+		default:
+			report.Errors++
+		}
+	}
+
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tokens {
+				if ctx.Err() != nil {
+					return
+				}
+				o := endpoints[i%len(endpoints)]
+				record(submitOne(ctx, cfg, o, &hist))
+			}
+		}()
+	}
+	wg.Wait()
+
+	report.Orders = len(report.Results)
+	report.ElapsedSeconds = time.Since(started).Seconds()
+	if report.ElapsedSeconds > 0 {
+		report.Throughput = float64(report.Orders) / report.ElapsedSeconds
+	}
+	report.Latency = hist.Summary()
+	for i := range report.Results {
+		report.Results[i].LatencyMS = report.Results[i].Latency.Seconds() * 1000
+	}
+	return report, nil
+}
+
+// submitOne posts one order with ?wait=true and classifies the reply.
+func submitOne(ctx context.Context, cfg Config, o trace.Order, hist *Histogram) Result {
+	body, err := json.Marshal(submitBody{
+		Pickup:          point{Lng: o.Pickup.Lng, Lat: o.Pickup.Lat},
+		Dropoff:         point{Lng: o.Dropoff.Lng, Lat: o.Dropoff.Lat},
+		PatienceSeconds: cfg.Patience,
+	})
+	if err != nil {
+		return Result{Status: "error"}
+	}
+	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost,
+		cfg.BaseURL+"/v1/orders?wait=true", bytes.NewReader(body))
+	if err != nil {
+		return Result{Status: "error"}
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return Result{Status: "error"}
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(start)
+
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return Result{ID: -1, Status: "rejected"}
+	}
+	var reply submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return Result{Status: "error"}
+	}
+	switch reply.Status {
+	case "assigned", "expired":
+		hist.Observe(elapsed)
+		return Result{ID: reply.ID, Status: reply.Status, Latency: elapsed}
+	case "pending":
+		return Result{ID: reply.ID, Status: "pending", Latency: elapsed}
+	default:
+		return Result{ID: reply.ID, Status: "error"}
+	}
+}

@@ -1,0 +1,145 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50MS < 49 || s.P50MS > 51 {
+		t.Errorf("p50 = %v, want ~50", s.P50MS)
+	}
+	if s.P95MS < 94 || s.P95MS > 96 {
+		t.Errorf("p95 = %v, want ~95", s.P95MS)
+	}
+	if s.P99MS < 98 || s.P99MS > 100 {
+		t.Errorf("p99 = %v, want ~99", s.P99MS)
+	}
+	if s.MaxMS != 100 {
+		t.Errorf("max = %v, want 100", s.MaxMS)
+	}
+	if s.MeanMS < 50 || s.MeanMS > 51 {
+		t.Errorf("mean = %v, want ~50.5", s.MeanMS)
+	}
+	if (&Histogram{}).Summary() != (LatencySummary{}) {
+		t.Error("empty histogram summary not zero")
+	}
+}
+
+// stubGateway fakes the gateway's submit endpoint: every Nth request is
+// rejected with 429, the rest are "assigned".
+func stubGateway(rejectEvery int) http.Handler {
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/orders", func(w http.ResponseWriter, r *http.Request) {
+		var body submitBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		i := n.Add(1)
+		if rejectEvery > 0 && i%int64(rejectEvery) == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(submitReply{ID: i, Status: "assigned"})
+	})
+	return mux
+}
+
+func TestRunClosedLoopAgainstStub(t *testing.T) {
+	ts := httptest.NewServer(stubGateway(0))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Orders: 50, Concurrency: 4, Seed: 3, Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Orders != 50 || rep.Assigned != 50 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Latency.Count != 50 || rep.Latency.P50MS <= 0 {
+		t.Errorf("latency summary = %+v", rep.Latency)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("throughput not computed")
+	}
+	if len(rep.Results) != 50 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+}
+
+func TestRunClassifiesRejections(t *testing.T) {
+	ts := httptest.NewServer(stubGateway(5))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Orders: 50, Concurrency: 2, Seed: 3, Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 10 {
+		t.Errorf("rejected = %d, want 10", rep.Rejected)
+	}
+	if rep.Assigned != 40 {
+		t.Errorf("assigned = %d, want 40", rep.Assigned)
+	}
+	// Rejected submissions carry no latency sample.
+	if rep.Latency.Count != 40 {
+		t.Errorf("latency samples = %d, want 40", rep.Latency.Count)
+	}
+}
+
+// TestRunOpenLoopPacesArrivals checks the Poisson arrival mode: at a
+// deliberately slow rate the run must take at least roughly
+// orders/rate seconds, unlike the closed loop which finishes as fast
+// as the server answers.
+func TestRunOpenLoopPacesArrivals(t *testing.T) {
+	ts := httptest.NewServer(stubGateway(0))
+	defer ts.Close()
+	const orders, rate = 30, 100.0 // expect ~0.3s
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Orders: orders, Concurrency: 4, Rate: rate, Seed: 3, Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Orders != orders {
+		t.Fatalf("orders = %d", rep.Orders)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("open loop finished in %v — arrivals not paced", elapsed)
+	}
+}
+
+func TestRunCancellationStopsIssuing(t *testing.T) {
+	ts := httptest.NewServer(stubGateway(0))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{
+		BaseURL: ts.URL, Orders: 1000, Concurrency: 2, Rate: 5, Seed: 3, Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Orders != 0 {
+		t.Errorf("canceled run still submitted %d orders", rep.Orders)
+	}
+}

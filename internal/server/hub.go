@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+
+	"mrvd"
+	"mrvd/internal/geo"
+)
+
+// event is one SSE payload. Type is one of "batch", "assigned",
+// "expired", "repositioned".
+type event struct {
+	Type string  `json:"type"`
+	T    float64 `json:"t"` // engine time
+	// Every optional field is a pointer: 0 is a legitimate value for
+	// all of them (batch 0, order 0, zero waiting, a zero-deadhead
+	// pickup), so presence — not non-zeroness — marks which fields an
+	// event type carries.
+	Batch  *int   `json:"batch,omitempty"`
+	Order  *int64 `json:"order,omitempty"`
+	Driver *int64 `json:"driver,omitempty"`
+
+	Waiting    *int     `json:"waiting,omitempty"`
+	Available  *int     `json:"available,omitempty"`
+	PickupCost *float64 `json:"pickup_cost,omitempty"`
+	Revenue    *float64 `json:"revenue,omitempty"`
+	FreeAt     *float64 `json:"free_at,omitempty"`
+
+	From *pointJSON `json:"from,omitempty"`
+	To   *pointJSON `json:"to,omitempty"`
+}
+
+// pointJSON is the wire form of a coordinate.
+type pointJSON struct {
+	Lng float64 `json:"lng"`
+	Lat float64 `json:"lat"`
+}
+
+func toPoint(p geo.Point) pointJSON { return pointJSON{Lng: p.Lng, Lat: p.Lat} }
+
+func ptr[T any](v T) *T { return &v }
+
+// hub fans dispatch events out to SSE subscribers. Publishing never
+// blocks the engine goroutine: a subscriber that cannot keep up has
+// events dropped, and serialization is skipped entirely while nobody
+// is listening.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+func newHub() *hub { return &hub{subs: make(map[chan []byte]struct{})} }
+
+// subscribe registers a buffered event channel. It returns nil when the
+// hub is already closed (session over).
+func (h *hub) subscribe() chan []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	ch := make(chan []byte, 256)
+	h.subs[ch] = struct{}{}
+	return ch
+}
+
+func (h *hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// active reports whether anyone is listening, letting the observer skip
+// JSON marshaling on the engine goroutine when nobody is.
+func (h *hub) active() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs) > 0
+}
+
+// publish fans one serialized event out, dropping it for subscribers
+// with a full buffer.
+func (h *hub) publish(payload []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- payload:
+		default: // slow consumer: drop rather than stall the engine
+		}
+	}
+}
+
+// closeAll ends every subscription; subsequent subscribes fail.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// observer adapts engine events into hub broadcasts.
+func (h *hub) observer() mrvd.Observer {
+	emit := func(e event) {
+		if !h.active() {
+			return
+		}
+		payload, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		h.publish(payload)
+	}
+	return mrvd.ObserverFuncs{
+		BatchStart: func(e mrvd.BatchStartEvent) {
+			emit(event{Type: "batch", T: e.Now, Batch: ptr(e.Batch),
+				Waiting: ptr(e.Waiting), Available: ptr(e.Available)})
+		},
+		Assigned: func(e mrvd.AssignedEvent) {
+			emit(event{Type: "assigned", T: e.Now,
+				Order: ptr(int64(e.Rider.Order.ID)), Driver: ptr(int64(e.Driver)),
+				PickupCost: ptr(e.PickupCost), Revenue: ptr(e.Revenue), FreeAt: ptr(e.FreeAt)})
+		},
+		Expired: func(e mrvd.ExpiredEvent) {
+			emit(event{Type: "expired", T: e.Now, Order: ptr(int64(e.Rider.Order.ID))})
+		},
+		Repositioned: func(e mrvd.RepositionedEvent) {
+			from, to := toPoint(e.From), toPoint(e.To)
+			emit(event{Type: "repositioned", T: e.Now, Driver: ptr(int64(e.Driver)),
+				From: &from, To: &to, FreeAt: ptr(e.ArriveAt)})
+		},
+	}
+}

@@ -1,0 +1,396 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mrvd"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/sim"
+	"mrvd/internal/trace"
+)
+
+// Config parameterizes a gateway over one serve session.
+type Config struct {
+	// Algorithm names the dispatcher (default "LS").
+	Algorithm string
+	// Starts positions the fleet; nil samples from the instance.
+	Starts []mrvd.Point
+	// Fleet pre-populates /v1/drivers with this many driver views; 0
+	// learns drivers from events only.
+	Fleet int
+	// MaxPending bounds in-flight orders (submitted, not yet terminal).
+	// A submit beyond the bound is rejected with 429 (default 1024).
+	MaxPending int
+	// DefaultPatience is the pickup patience, in engine seconds, stamped
+	// on orders that do not specify one (default 300).
+	DefaultPatience float64
+	// MaxWait caps a ?wait=true long-poll (default 60s). A poll that
+	// times out returns the order's current (pending) view with 202.
+	MaxWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = "LS"
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1024
+	}
+	if c.DefaultPatience <= 0 {
+		c.DefaultPatience = 300
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 60 * time.Second
+	}
+	return c
+}
+
+// Server is an HTTP/JSON gateway over a live dispatch session: it owns
+// the session's ServeHandle, a StateStore folding engine events into
+// queryable views, and an SSE hub. Build with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg    Config
+	svc    *mrvd.Service
+	handle *mrvd.ServeHandle
+	store  *sim.StateStore
+	hub    *hub
+	mux    *http.ServeMux
+	began  time.Time
+}
+
+// New starts a serve session on svc and wraps it in a gateway. The
+// session — and therefore the gateway — ends when ctx is canceled, the
+// service horizon is reached, or Drain is called; in-flight waiters
+// resolve (canceled) and SSE streams close. The caller should serve the
+// returned *Server over HTTP and may Result() it for final metrics.
+func New(ctx context.Context, svc *mrvd.Service, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		svc:   svc,
+		store: sim.NewStateStore(cfg.Fleet),
+		hub:   newHub(),
+		began: time.Now(),
+	}
+	handle, err := svc.Start(ctx, cfg.Algorithm, cfg.Starts, s.store, s.hub.observer())
+	if err != nil {
+		return nil, err
+	}
+	handle.SetInFlightLimit(cfg.MaxPending)
+	s.handle = handle
+	go func() {
+		<-handle.Done()
+		s.hub.closeAll()
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/orders", s.handleSubmit)
+	mux.HandleFunc("GET /v1/orders", s.handleOrders)
+	mux.HandleFunc("GET /v1/orders/{id}", s.handleOrder)
+	mux.HandleFunc("GET /v1/drivers", s.handleDrivers)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handle exposes the underlying serve session.
+func (s *Server) Handle() *mrvd.ServeHandle { return s.handle }
+
+// Store exposes the live state store.
+func (s *Server) Store() *sim.StateStore { return s.store }
+
+// Drain closes the order stream: already-accepted orders still
+// dispatch, new submissions fail, and the session exits once drained.
+func (s *Server) Drain() { s.handle.Close() }
+
+// Result blocks until the session ends and returns its final metrics.
+func (s *Server) Result() (*mrvd.Metrics, error) { return s.handle.Result() }
+
+// --- wire types ---
+
+type orderRequest struct {
+	Pickup  pointJSON `json:"pickup"`
+	Dropoff pointJSON `json:"dropoff"`
+	// PatienceSeconds is how long the rider waits for pickup, in engine
+	// seconds (default Config.DefaultPatience).
+	PatienceSeconds float64 `json:"patience_seconds,omitempty"`
+}
+
+type orderResponse struct {
+	ID       int64      `json:"id"`
+	Status   string     `json:"status"`
+	PostTime float64    `json:"post_time"`
+	Deadline float64    `json:"deadline"`
+	Pickup   pointJSON  `json:"pickup"`
+	Dropoff  pointJSON  `json:"dropoff"`
+	Driver   *int64     `json:"driver,omitempty"`
+	Assigned *assigned  `json:"assignment,omitempty"`
+	Expired  *expiredAt `json:"expiry,omitempty"`
+	// WaitMS is the wall-clock milliseconds a ?wait submit spent from
+	// acceptance to the terminal outcome (submit responses only).
+	WaitMS float64 `json:"wait_ms,omitempty"`
+}
+
+type assigned struct {
+	At         float64 `json:"at"`
+	PickedAt   float64 `json:"picked_at"`
+	FreeAt     float64 `json:"free_at"`
+	PickupCost float64 `json:"pickup_cost"`
+	Revenue    float64 `json:"revenue"`
+}
+
+type expiredAt struct {
+	At float64 `json:"at"`
+}
+
+type driverResponse struct {
+	ID          int64     `json:"id"`
+	Served      int       `json:"served"`
+	Repositions int       `json:"repositions"`
+	Busy        bool      `json:"busy"`
+	Pos         pointJSON `json:"pos"`
+	FreeAt      float64   `json:"free_at"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func orderViewResponse(v sim.OrderView) orderResponse {
+	resp := orderResponse{
+		ID:       int64(v.ID),
+		Status:   string(v.State),
+		PostTime: v.PostTime,
+		Deadline: v.Deadline,
+		Pickup:   toPoint(v.Pickup),
+		Dropoff:  toPoint(v.Dropoff),
+	}
+	switch v.State {
+	case sim.OrderAssigned:
+		d := int64(v.Driver)
+		resp.Driver = &d
+		resp.Assigned = &assigned{
+			At: v.AssignedAt, PickedAt: v.PickedAt, FreeAt: v.FreeAt,
+			PickupCost: v.PickupCost, Revenue: v.Revenue,
+		}
+	case sim.OrderExpired:
+		resp.Expired = &expiredAt{At: v.ExpiredAt}
+	}
+	return resp
+}
+
+// --- handlers ---
+
+// handleSubmit admits one order: admission control against the pending
+// bound, engine-clock stamping, registration in the state store, and —
+// with ?wait=true — a long-poll for the terminal outcome.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req orderRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode order: %v", err)
+		return
+	}
+	patience := req.PatienceSeconds
+	if patience <= 0 {
+		patience = s.cfg.DefaultPatience
+	}
+	now := s.handle.Clock()
+	o := trace.Order{
+		PostTime: now,
+		Deadline: now + patience,
+		Pickup:   mrvd.Point{Lng: req.Pickup.Lng, Lat: req.Pickup.Lat},
+		Dropoff:  mrvd.Point{Lng: req.Dropoff.Lng, Lat: req.Dropoff.Lat},
+	}
+	accepted := time.Now()
+	id, outcome, err := s.handle.Submit(o)
+	switch {
+	case errors.Is(err, mrvd.ErrQueueFull):
+		// Backpressure: a bounded pending queue is what separates a
+		// serving system from an unbounded buffer. The limit is checked
+		// atomically with registration inside Submit, so it holds under
+		// concurrent requests. 429 tells well-behaved clients to retry.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "pending queue full (%d in flight)", s.cfg.MaxPending)
+		return
+	case errors.Is(err, mrvd.ErrServeFinished):
+		// The service going away is not the client's fault.
+		writeError(w, http.StatusServiceUnavailable, "serve session ended")
+		return
+	case err != nil:
+		// Remaining failures are the order's own validation.
+		writeError(w, http.StatusBadRequest, "submit: %v", err)
+		return
+	}
+	o.ID = id
+	s.store.TrackSubmitted(o)
+
+	if r.URL.Query().Get("wait") != "true" {
+		resp := orderViewResponse(sim.OrderView{
+			ID: id, State: sim.OrderPending,
+			PostTime: o.PostTime, Deadline: o.Deadline,
+			Pickup: o.Pickup, Dropoff: o.Dropoff,
+		})
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
+
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case out := <-outcome:
+		// Observers run before the outcome wakes us (see Service.Start),
+		// so the store's view of this order is already terminal — one
+		// mapping serves the long-poll and the read API identically.
+		v, _ := s.store.Order(id)
+		resp := orderViewResponse(v)
+		// A canceled session is the one outcome the store (which only
+		// folds engine events) does not carry.
+		resp.Status = out.Status.String()
+		resp.WaitMS = time.Since(accepted).Seconds() * 1000
+		writeJSON(w, http.StatusOK, resp)
+	case <-timer.C:
+		// Wait bound hit; hand back the (tracked, hence always
+		// present) pending view — the client can poll
+		// GET /v1/orders/{id}.
+		v, _ := s.store.Order(id)
+		writeJSON(w, http.StatusAccepted, orderViewResponse(v))
+	case <-r.Context().Done():
+		// Client went away; the order stays in the system.
+	}
+}
+
+func (s *Server) handleOrder(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad order id %q", r.PathValue("id"))
+		return
+	}
+	v, ok := s.store.Order(trace.OrderID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "order %d unknown", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, orderViewResponse(v))
+}
+
+func (s *Server) handleOrders(w http.ResponseWriter, r *http.Request) {
+	views := s.store.Orders()
+	out := make([]orderResponse, len(views))
+	for i, v := range views {
+		out[i] = orderViewResponse(v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDrivers(w http.ResponseWriter, r *http.Request) {
+	views := s.store.Drivers()
+	out := make([]driverResponse, len(views))
+	for i, v := range views {
+		out[i] = driverResponse{
+			ID: int64(v.ID), Served: v.Served, Repositions: v.Repositions,
+			Busy: v.Busy, Pos: toPoint(v.Pos), FreeAt: v.FreeAt,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEvents streams dispatch events as Server-Sent Events until the
+// client disconnects or the session ends.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	sub := s.hub.subscribe()
+	if sub == nil {
+		writeError(w, http.StatusServiceUnavailable, "serve session ended")
+		return
+	}
+	defer s.hub.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case payload, ok := <-sub:
+			if !ok {
+				return // session over
+			}
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Algorithm     string         `json:"algorithm"`
+	Engine        sim.StoreStats `json:"engine"`
+	// InFlight counts submitted orders without a terminal outcome;
+	// PendingRelease of those, the ones the engine has not admitted yet.
+	InFlight       int  `json:"in_flight"`
+	PendingRelease int  `json:"pending_release"`
+	MaxPending     int  `json:"max_pending"`
+	Done           bool `json:"done"`
+	// Coster is the travel-cost cache counters for backends that expose
+	// them (the road-network coster does); null otherwise.
+	Coster *roadnet.CosterStats `json:"coster,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds:  time.Since(s.began).Seconds(),
+		Algorithm:      s.cfg.Algorithm,
+		Engine:         s.store.Stats(),
+		InFlight:       s.handle.InFlight(),
+		PendingRelease: s.handle.Pending(),
+		MaxPending:     s.cfg.MaxPending,
+	}
+	select {
+	case <-s.handle.Done():
+		resp.Done = true
+	default:
+	}
+	if c, ok := s.svc.Options().Coster.(interface{ Stats() roadnet.CosterStats }); ok {
+		st := c.Stats()
+		resp.Coster = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.handle.Done():
+		writeError(w, http.StatusServiceUnavailable, "serve session ended")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -270,6 +271,13 @@ func (e *Engine) Run(ctx context.Context, d Dispatcher) (*Metrics, error) {
 				case <-t.C:
 				}
 			}
+		} else {
+			// A free-running engine is a tight CPU loop. Yield between
+			// batches so concurrent producers — ChannelSource submitters,
+			// the HTTP gateway's handlers — get scheduled promptly even
+			// at GOMAXPROCS=1, where they would otherwise only run on
+			// ~20ms preemptions.
+			runtime.Gosched()
 		}
 		e.admitOrders(now)
 		e.rejoinDrivers(now)

@@ -1,11 +1,17 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"mrvd/internal/trace"
 )
+
+// ErrSourceClosed is wrapped by ChannelSource.Submit once the stream
+// has been closed; callers distinguish it (errors.Is) from the order's
+// own validation failures.
+var ErrSourceClosed = errors.New("sim: order source closed")
 
 // OrderSource feeds orders to the engine incrementally, decoupling where
 // orders come from (a recorded trace, a live request stream, a replayed
@@ -102,7 +108,7 @@ func (c *ChannelSource) Submit(o trace.Order) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return fmt.Errorf("sim: submit order %d: source closed", o.ID)
+		return fmt.Errorf("submit order %d: %w", o.ID, ErrSourceClosed)
 	}
 	c.heap.push(submission{order: o, seq: c.seq})
 	c.seq++

@@ -211,6 +211,59 @@ func TestEngineLiveSubmitMidRun(t *testing.T) {
 	}
 }
 
+// TestEngineConcurrentSubmitDuringLiveRun hammers a running engine's
+// ChannelSource from many goroutines — the gateway's actual write
+// pattern, where Submit races the engine goroutine's Poll every batch.
+// The race detector patrols this test (CI runs -race).
+func TestEngineConcurrentSubmitDuringLiveRun(t *testing.T) {
+	src := NewChannelSource()
+	cfg := simpleConfig()
+	cfg.StopWhenDrained = true
+	cfg.Horizon = 1e9 // ends by drain, not horizon
+	cfg.Delta = 30    // coarse batches keep the -race run cheap
+	starts := make([]geo.Point, 8)
+	for i := range starts {
+		starts[i] = offset(center(), float64(i*200))
+	}
+	e := NewWithSource(cfg, src, starts)
+
+	const producers, perProducer = 8, 15
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				// PostTime 0 is always in the engine's past, so every
+				// order is admitted at the batch after its submission.
+				o := mkOrder(p*perProducer+i, 0, 1e9)
+				if err := src.Submit(o); err != nil {
+					t.Error(err)
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		src.Close()
+		close(done)
+	}()
+
+	m, err := e.Run(context.Background(), takeAll{})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = producers * perProducer
+	if m.TotalOrders != total {
+		t.Fatalf("TotalOrders = %d, want %d", m.TotalOrders, total)
+	}
+	if m.Served+m.Reneged != total {
+		t.Fatalf("outcomes %d+%d, want %d", m.Served, m.Reneged, total)
+	}
+}
+
 func TestEngineRunContextCancellationMidRun(t *testing.T) {
 	orders := make([]trace.Order, 50)
 	for i := range orders {

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/trace"
+)
+
+// OrderState is an order's lifecycle phase as seen by a StateStore.
+type OrderState string
+
+// Order states. An order is pending from submission until the engine
+// commits a terminal event for it.
+const (
+	OrderPending  OrderState = "pending"
+	OrderAssigned OrderState = "assigned"
+	OrderExpired  OrderState = "expired"
+)
+
+// OrderView is the queryable per-order state a StateStore folds out of
+// engine events — what GET /v1/orders/{id} serves.
+type OrderView struct {
+	ID       trace.OrderID `json:"id"`
+	State    OrderState    `json:"state"`
+	PostTime float64       `json:"post_time"`
+	Deadline float64       `json:"deadline"`
+	Pickup   geo.Point     `json:"pickup"`
+	Dropoff  geo.Point     `json:"dropoff"`
+	// Assigned-only fields.
+	Driver     DriverID `json:"driver,omitempty"`
+	AssignedAt float64  `json:"assigned_at,omitempty"`
+	PickedAt   float64  `json:"picked_at,omitempty"`
+	FreeAt     float64  `json:"free_at,omitempty"`
+	PickupCost float64  `json:"pickup_cost,omitempty"`
+	Revenue    float64  `json:"revenue,omitempty"`
+	// ExpiredAt is the batch time the rider reneged (expired-only).
+	ExpiredAt float64 `json:"expired_at,omitempty"`
+}
+
+// DriverView is the queryable per-driver state: assignment counts and
+// the driver's last known movement, folded from Assigned and
+// Repositioned events.
+type DriverView struct {
+	ID          DriverID  `json:"id"`
+	Served      int       `json:"served"`
+	Repositions int       `json:"repositions"`
+	Busy        bool      `json:"busy"` // heading to a pickup, trip, or cruise
+	Pos         geo.Point `json:"pos"`  // last known (destination while busy)
+	FreeAt      float64   `json:"free_at"`
+	LastEventAt float64   `json:"last_event_at"`
+}
+
+// StoreStats snapshots the store's engine counters — what GET /v1/stats
+// serves.
+type StoreStats struct {
+	// Clock and Batch track the latest batch boundary.
+	Clock float64 `json:"clock"`
+	Batch int     `json:"batch"`
+	// Waiting and Available are the latest batch's queue depths.
+	Waiting   int `json:"waiting"`
+	Available int `json:"available"`
+	// Terminal-outcome counters.
+	Submitted    int `json:"submitted"`
+	Assigned     int `json:"assigned"`
+	Expired      int `json:"expired"`
+	Repositioned int `json:"repositioned"`
+	// Batch cycle wall-clock timings (milliseconds): the gap between
+	// consecutive batch starts, i.e. dispatch work plus pacing sleep.
+	AvgBatchGapMS float64 `json:"avg_batch_gap_ms"`
+	MaxBatchGapMS float64 `json:"max_batch_gap_ms"`
+	// Revenue and PickupSeconds accumulate over assignments.
+	Revenue       float64 `json:"revenue"`
+	PickupSeconds float64 `json:"pickup_seconds"`
+}
+
+// StateStore is an Observer that folds engine events into queryable
+// per-order and per-driver views — the live state behind the HTTP
+// gateway's read endpoints. Event callbacks run inline on the engine
+// goroutine and only copy scalars under a short critical section;
+// readers get snapshot copies and never see engine-owned pointers.
+//
+// Orders enter the store either through TrackSubmitted (the gateway
+// registers each accepted submission so it is queryable while still
+// pending) or lazily at their first terminal event; the two paths merge,
+// so event/track ordering races are harmless.
+type StateStore struct {
+	mu      sync.RWMutex
+	orders  map[trace.OrderID]*OrderView
+	drivers map[DriverID]*DriverView
+	stats   StoreStats
+
+	gapCount      int
+	gapSumMS      float64
+	lastBatchWall time.Time
+}
+
+// NewStateStore returns an empty store. fleet pre-populates that many
+// driver views (ids 0..fleet-1) so GET /v1/drivers lists the whole
+// fleet before any event mentions it; 0 learns drivers from events.
+func NewStateStore(fleet int) *StateStore {
+	s := &StateStore{
+		orders:  make(map[trace.OrderID]*OrderView),
+		drivers: make(map[DriverID]*DriverView),
+	}
+	for i := 0; i < fleet; i++ {
+		s.drivers[DriverID(i)] = &DriverView{ID: DriverID(i)}
+	}
+	return s
+}
+
+// TrackSubmitted registers a submitted order so it is queryable while
+// pending. It merges rather than overwrites: an order whose terminal
+// event already arrived keeps its terminal state.
+func (s *StateStore) TrackSubmitted(o trace.Order) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.order(o.ID)
+	v.PostTime, v.Deadline = o.PostTime, o.Deadline
+	v.Pickup, v.Dropoff = o.Pickup, o.Dropoff
+	s.stats.Submitted++
+}
+
+// order returns the view for id, creating a pending one if needed.
+// Callers hold s.mu.
+func (s *StateStore) order(id trace.OrderID) *OrderView {
+	v, ok := s.orders[id]
+	if !ok {
+		v = &OrderView{ID: id, State: OrderPending}
+		s.orders[id] = v
+	}
+	return v
+}
+
+// driver returns the view for id, creating one if needed. Callers hold
+// s.mu.
+func (s *StateStore) driver(id DriverID) *DriverView {
+	v, ok := s.drivers[id]
+	if !ok {
+		v = &DriverView{ID: id}
+		s.drivers[id] = v
+	}
+	return v
+}
+
+// OnBatchStart implements Observer.
+func (s *StateStore) OnBatchStart(e BatchStartEvent) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Clock = e.Now
+	s.stats.Batch = e.Batch
+	s.stats.Waiting = e.Waiting
+	s.stats.Available = e.Available
+	if !s.lastBatchWall.IsZero() {
+		gap := now.Sub(s.lastBatchWall).Seconds() * 1000
+		s.gapCount++
+		s.gapSumMS += gap
+		s.stats.AvgBatchGapMS = s.gapSumMS / float64(s.gapCount)
+		if gap > s.stats.MaxBatchGapMS {
+			s.stats.MaxBatchGapMS = gap
+		}
+	}
+	s.lastBatchWall = now
+	// Drivers whose trips completed are available again.
+	for _, d := range s.drivers {
+		if d.Busy && d.FreeAt <= e.Now {
+			d.Busy = false
+		}
+	}
+}
+
+// OnAssigned implements Observer.
+func (s *StateStore) OnAssigned(e AssignedEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.order(e.Rider.Order.ID)
+	if v.State == OrderPending { // events are authoritative; never downgrade
+		v.State = OrderAssigned
+		v.PostTime, v.Deadline = e.Rider.Order.PostTime, e.Rider.Order.Deadline
+		v.Pickup, v.Dropoff = e.Rider.Order.Pickup, e.Rider.Order.Dropoff
+		v.Driver = e.Driver
+		v.AssignedAt = e.Now
+		v.PickedAt = e.Rider.PickedAt
+		v.FreeAt = e.FreeAt
+		v.PickupCost = e.PickupCost
+		v.Revenue = e.Revenue
+		s.stats.Assigned++
+		s.stats.Revenue += e.Revenue
+		s.stats.PickupSeconds += e.PickupCost
+	}
+	d := s.driver(e.Driver)
+	d.Served++
+	d.Busy = true
+	d.Pos = e.Rider.Order.Dropoff
+	d.FreeAt = e.FreeAt
+	d.LastEventAt = e.Now
+}
+
+// OnExpired implements Observer.
+func (s *StateStore) OnExpired(e ExpiredEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.order(e.Rider.Order.ID)
+	if v.State == OrderPending {
+		v.State = OrderExpired
+		v.PostTime, v.Deadline = e.Rider.Order.PostTime, e.Rider.Order.Deadline
+		v.Pickup, v.Dropoff = e.Rider.Order.Pickup, e.Rider.Order.Dropoff
+		v.ExpiredAt = e.Now
+		s.stats.Expired++
+	}
+}
+
+// OnRepositioned implements Observer.
+func (s *StateStore) OnRepositioned(e RepositionedEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.driver(e.Driver)
+	d.Repositions++
+	d.Busy = true
+	d.Pos = e.To
+	d.FreeAt = e.ArriveAt
+	d.LastEventAt = e.Now
+	s.stats.Repositioned++
+}
+
+// Order returns a snapshot of one order's view.
+func (s *StateStore) Order(id trace.OrderID) (OrderView, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.orders[id]
+	if !ok {
+		return OrderView{}, false
+	}
+	return *v, true
+}
+
+// Orders returns snapshots of every known order, sorted by id.
+func (s *StateStore) Orders() []OrderView {
+	s.mu.RLock()
+	out := make([]OrderView, 0, len(s.orders))
+	for _, v := range s.orders {
+		out = append(out, *v)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Drivers returns snapshots of every known driver, sorted by id.
+func (s *StateStore) Drivers() []DriverView {
+	s.mu.RLock()
+	out := make([]DriverView, 0, len(s.drivers))
+	for _, v := range s.drivers {
+		out = append(out, *v)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns a snapshot of the engine counters.
+func (s *StateStore) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/trace"
+)
+
+func storeOrder(id int) trace.Order {
+	return trace.Order{
+		ID: trace.OrderID(id), PostTime: float64(id), Deadline: float64(id) + 300,
+		Pickup:  geo.Point{Lng: -73.97, Lat: 40.75},
+		Dropoff: geo.Point{Lng: -73.95, Lat: 40.77},
+	}
+}
+
+func TestStateStoreFoldsOrderLifecycle(t *testing.T) {
+	s := NewStateStore(3)
+	o := storeOrder(0)
+	s.TrackSubmitted(o)
+
+	v, ok := s.Order(0)
+	if !ok || v.State != OrderPending {
+		t.Fatalf("tracked order view = %+v, ok=%v", v, ok)
+	}
+	if v.PostTime != o.PostTime || v.Deadline != o.Deadline {
+		t.Errorf("order times not tracked: %+v", v)
+	}
+
+	rider := &Rider{Order: o, PickedAt: 42}
+	s.OnAssigned(AssignedEvent{Now: 6, Rider: rider, Driver: 2, PickupCost: 36, Revenue: 100, FreeAt: 180})
+	v, _ = s.Order(0)
+	if v.State != OrderAssigned || v.Driver != 2 || v.AssignedAt != 6 || v.Revenue != 100 {
+		t.Fatalf("assigned view = %+v", v)
+	}
+	// A later expiry event for the same order must not downgrade it.
+	s.OnExpired(ExpiredEvent{Now: 9, Rider: rider})
+	if v, _ = s.Order(0); v.State != OrderAssigned {
+		t.Errorf("terminal state downgraded to %v", v.State)
+	}
+
+	st := s.Stats()
+	if st.Submitted != 1 || st.Assigned != 1 || st.Expired != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Revenue != 100 || st.PickupSeconds != 36 {
+		t.Errorf("accumulators = %+v", st)
+	}
+
+	d := s.Drivers()
+	if len(d) != 3 {
+		t.Fatalf("drivers = %d, want 3 (pre-populated fleet)", len(d))
+	}
+	if d[2].Served != 1 || !d[2].Busy || d[2].FreeAt != 180 {
+		t.Errorf("driver 2 view = %+v", d[2])
+	}
+	// The batch boundary past FreeAt flips the driver back to idle.
+	s.OnBatchStart(BatchStartEvent{Now: 200, Batch: 4, Waiting: 1, Available: 2})
+	if d = s.Drivers(); d[2].Busy {
+		t.Error("driver still busy after its trip completed")
+	}
+	if st = s.Stats(); st.Clock != 200 || st.Batch != 4 || st.Waiting != 1 || st.Available != 2 {
+		t.Errorf("batch stats = %+v", st)
+	}
+}
+
+func TestStateStoreEventBeforeTrackMerges(t *testing.T) {
+	// The gateway Submit/Track race: the engine can commit an outcome
+	// before TrackSubmitted runs. The terminal event wins either way.
+	s := NewStateStore(0)
+	o := storeOrder(7)
+	s.OnExpired(ExpiredEvent{Now: 33, Rider: &Rider{Order: o}})
+	s.TrackSubmitted(o)
+	v, ok := s.Order(7)
+	if !ok || v.State != OrderExpired || v.ExpiredAt != 33 {
+		t.Fatalf("view = %+v, ok=%v", v, ok)
+	}
+	if v.PostTime != o.PostTime {
+		t.Errorf("track-after-event did not merge submit data: %+v", v)
+	}
+	if st := s.Stats(); st.Submitted != 1 || st.Expired != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStateStoreRepositionFolds(t *testing.T) {
+	s := NewStateStore(1)
+	s.OnRepositioned(RepositionedEvent{
+		Now: 10, Driver: 0,
+		From: geo.Point{Lng: -74, Lat: 40.7}, To: geo.Point{Lng: -73.9, Lat: 40.8},
+		Cost: 120, ArriveAt: 130,
+	})
+	d := s.Drivers()
+	if d[0].Repositions != 1 || !d[0].Busy || d[0].FreeAt != 130 {
+		t.Errorf("driver view = %+v", d[0])
+	}
+	if got := d[0].Pos; got.Lng != -73.9 {
+		t.Errorf("driver position not updated: %+v", got)
+	}
+	if st := s.Stats(); st.Repositioned != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestStateStoreConcurrentReadsDuringEvents runs readers against the
+// store while an event stream mutates it — the gateway's actual access
+// pattern; the race detector patrols this test.
+func TestStateStoreConcurrentReadsDuringEvents(t *testing.T) {
+	s := NewStateStore(8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Orders()
+				s.Drivers()
+				s.Stats()
+				s.Order(3)
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		o := storeOrder(i)
+		s.TrackSubmitted(o)
+		s.OnBatchStart(BatchStartEvent{Now: float64(i), Batch: i})
+		if i%2 == 0 {
+			s.OnAssigned(AssignedEvent{Now: float64(i), Rider: &Rider{Order: o}, Driver: DriverID(i % 8), FreeAt: float64(i + 50)})
+		} else {
+			s.OnExpired(ExpiredEvent{Now: float64(i), Rider: &Rider{Order: o}})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := s.Stats()
+	if st.Submitted != 500 || st.Assigned != 250 || st.Expired != 250 {
+		t.Errorf("stats after stream = %+v", st)
+	}
+	if got := len(s.Orders()); got != 500 {
+		t.Errorf("orders = %d, want 500", got)
+	}
+}

@@ -13,18 +13,22 @@
 // Quick start — one simulated day under the paper's local search:
 //
 //	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 28000, Seed: 1})
-//	svc := mrvd.NewService(mrvd.WithCity(city), mrvd.WithFleet(100))
+//	svc, err := mrvd.NewService(mrvd.WithCity(city), mrvd.WithFleet(100))
 //	metrics, err := svc.Run(context.Background(), "LS")
 //
 // The Service API is streaming and context-aware: orders can arrive
 // live through a ChannelSource (svc.Serve), runs cancel through their
 // context, per-event observers subscribe with WithObserver, and
 // svc.Sweep executes (algorithm × seed × fleet) grids on a parallel
-// worker pool with deterministic results.
+// worker pool with deterministic results. Service.Start runs a live
+// serve session in the background and returns a ServeHandle whose
+// Submit routes each order's terminal Outcome back to the caller — the
+// seam the HTTP gateway (internal/server, cmd/mrvd-serve) builds on.
 //
 // See examples/ for runnable scenarios (examples/livedispatch streams
-// orders into a running engine) and cmd/mrvd-bench for the harness
-// regenerating every table and figure of the paper.
+// orders into a running engine, examples/httpserve drives the HTTP
+// gateway end to end) and cmd/mrvd-bench for the harness regenerating
+// every table and figure of the paper.
 package mrvd
 
 import (
@@ -69,6 +73,8 @@ type (
 type (
 	// Dispatcher decides each batch's assignments (Algorithm 1 line 7).
 	Dispatcher = sim.Dispatcher
+	// DriverID indexes a driver in the fleet.
+	DriverID = sim.DriverID
 	// Metrics aggregates one simulated day.
 	Metrics = sim.Metrics
 	// Summary is the deterministic projection of Metrics (no wall-clock

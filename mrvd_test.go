@@ -9,12 +9,15 @@ import (
 
 func TestPublicAPIQuickstartFlow(t *testing.T) {
 	city := NewCity(CityConfig{OrdersPerDay: 4000, Seed: 1})
-	svc := NewService(
+	svc, err := NewService(
 		WithCity(city),
 		WithFleet(30),
 		WithBatchInterval(10),
 		WithHorizon(3*3600),
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := svc.Run(context.Background(), "LS")
 	if err != nil {
 		t.Fatal(err)

@@ -2,9 +2,14 @@ package mrvd
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"mrvd/internal/core"
+	"mrvd/internal/sim"
 )
 
 // Service is the streaming, context-aware entry point to the framework.
@@ -15,7 +20,7 @@ import (
 //
 // Build one with NewService and functional options:
 //
-//	svc := mrvd.NewService(
+//	svc, err := mrvd.NewService(
 //		mrvd.WithCity(city),
 //		mrvd.WithFleet(500),
 //		mrvd.WithPrediction(mrvd.PredictOracle, nil),
@@ -31,32 +36,74 @@ type Service struct {
 	model  Predictor
 	orders []Order
 	starts []Point
+	errs   []error
 }
 
-// Option configures a Service.
+// Option configures a Service. Options validate their arguments eagerly:
+// a nonsensical value (non-positive fleet, nil coster) is reported as an
+// error from NewService instead of surfacing as a confusing default or a
+// failure deep inside the engine.
 type Option func(*Service)
 
+func (s *Service) failf(format string, args ...any) {
+	s.errs = append(s.errs, fmt.Errorf("mrvd: "+format, args...))
+}
+
 // WithCity sets the demand workload (default: scaled NYC-like city).
-func WithCity(c *City) Option { return func(s *Service) { s.opts.City = c } }
+func WithCity(c *City) Option {
+	return func(s *Service) {
+		if c == nil {
+			s.failf("WithCity: nil city")
+			return
+		}
+		s.opts.City = c
+	}
+}
 
 // WithFleet sets the driver count (default 100).
-func WithFleet(n int) Option { return func(s *Service) { s.opts.NumDrivers = n } }
+func WithFleet(n int) Option {
+	return func(s *Service) {
+		if n <= 0 {
+			s.failf("WithFleet: fleet size must be positive, got %d", n)
+			return
+		}
+		s.opts.NumDrivers = n
+	}
+}
 
 // WithBatchInterval sets the batch interval delta in seconds (default 3,
 // Table 2).
 func WithBatchInterval(seconds float64) Option {
-	return func(s *Service) { s.opts.Delta = seconds }
+	return func(s *Service) {
+		if seconds <= 0 || math.IsNaN(seconds) {
+			s.failf("WithBatchInterval: interval must be positive, got %v", seconds)
+			return
+		}
+		s.opts.Delta = seconds
+	}
 }
 
 // WithSchedulingWindow sets the queueing-analysis window t_c in seconds
 // (default 1200).
 func WithSchedulingWindow(seconds float64) Option {
-	return func(s *Service) { s.opts.TC = seconds }
+	return func(s *Service) {
+		if seconds <= 0 || math.IsNaN(seconds) {
+			s.failf("WithSchedulingWindow: window must be positive, got %v", seconds)
+			return
+		}
+		s.opts.TC = seconds
+	}
 }
 
 // WithHorizon sets the simulated span in seconds (default one day).
 func WithHorizon(seconds float64) Option {
-	return func(s *Service) { s.opts.Horizon = seconds }
+	return func(s *Service) {
+		if seconds <= 0 || math.IsNaN(seconds) {
+			s.failf("WithHorizon: horizon must be positive, got %v", seconds)
+			return
+		}
+		s.opts.Horizon = seconds
+	}
 }
 
 // WithCoster sets the travel-cost backend (default Manhattan distance at
@@ -65,7 +112,15 @@ func WithHorizon(seconds float64) Option {
 // Costers implementing BatchCoster are priced one many-to-many matrix
 // per batch (unless they opt out via PerSourceAmortized); plain
 // Costers go through a per-pair compatibility loop.
-func WithCoster(c Coster) Option { return func(s *Service) { s.opts.Coster = c } }
+func WithCoster(c Coster) Option {
+	return func(s *Service) {
+		if c == nil {
+			s.failf("WithCoster: nil coster (omit the option for the default)")
+			return
+		}
+		s.opts.Coster = c
+	}
+}
 
 // WithSeed sets the instance seed for trace sampling and driver starts
 // (default 0).
@@ -73,19 +128,39 @@ func WithSeed(seed int64) Option { return func(s *Service) { s.opts.Seed = seed 
 
 // WithTrainDays sets the prediction-history length; the test day is day
 // TrainDays (default MinLookbackDays+14).
-func WithTrainDays(days int) Option { return func(s *Service) { s.opts.TrainDays = days } }
+func WithTrainDays(days int) Option {
+	return func(s *Service) {
+		if days <= 0 {
+			s.failf("WithTrainDays: history length must be positive, got %d", days)
+			return
+		}
+		s.opts.TrainDays = days
+	}
+}
 
 // WithSlotSeconds sets the prediction slot width (default 1800, the
 // paper's 30 minutes).
 func WithSlotSeconds(seconds float64) Option {
-	return func(s *Service) { s.opts.SlotSeconds = seconds }
+	return func(s *Service) {
+		if seconds <= 0 || math.IsNaN(seconds) {
+			s.failf("WithSlotSeconds: slot width must be positive, got %v", seconds)
+			return
+		}
+		s.opts.SlotSeconds = seconds
+	}
 }
 
 // WithPrediction selects the demand-forecast source consulted by the
 // queueing-aware dispatchers: PredictNone, PredictOracle (default), or
 // PredictModel with a predictor from Predictors or the predict package.
 func WithPrediction(mode PredictionMode, model Predictor) Option {
-	return func(s *Service) { s.mode, s.model = mode, model }
+	return func(s *Service) {
+		if mode == PredictModel && model == nil {
+			s.failf("WithPrediction: PredictModel requires a predictor")
+			return
+		}
+		s.mode, s.model = mode, model
+	}
 }
 
 // WithPace throttles runs to at most factor simulated seconds per wall
@@ -94,19 +169,41 @@ func WithPrediction(mode PredictionMode, model Predictor) Option {
 // an unpaced engine simulates hours per wall second and would expire
 // wall-clock-stamped orders on arrival.
 func WithPace(factor float64) Option {
-	return func(s *Service) { s.opts.PaceFactor = factor }
+	return func(s *Service) {
+		if factor < 0 || math.IsNaN(factor) {
+			s.failf("WithPace: factor must be >= 0, got %v", factor)
+			return
+		}
+		s.opts.PaceFactor = factor
+	}
 }
 
 // WithObserver subscribes an event observer to every run: batch starts,
 // assignments, expiries and repositions stream out as they happen
 // instead of being scraped from Metrics afterwards. Compose several with
 // sim.Observers.
-func WithObserver(o Observer) Option { return func(s *Service) { s.opts.Observer = o } }
+func WithObserver(o Observer) Option {
+	return func(s *Service) {
+		if o == nil {
+			s.failf("WithObserver: nil observer (omit the option instead)")
+			return
+		}
+		s.opts.Observer = o
+	}
+}
 
 // WithRepositioner enables active repositioning of drivers idle longer
 // than afterSeconds (0 keeps the 300s default threshold).
 func WithRepositioner(r Repositioner, afterSeconds float64) Option {
 	return func(s *Service) {
+		if r == nil {
+			s.failf("WithRepositioner: nil repositioner (omit the option instead)")
+			return
+		}
+		if afterSeconds < 0 || math.IsNaN(afterSeconds) {
+			s.failf("WithRepositioner: idle threshold must be >= 0, got %v", afterSeconds)
+			return
+		}
 		s.opts.Repositioner = r
 		s.opts.RepositionAfter = afterSeconds
 	}
@@ -116,24 +213,46 @@ func WithRepositioner(r Repositioner, afterSeconds float64) Option {
 // instead of generating one from the city. starts may be nil to sample
 // driver start positions from the trace's pickups.
 func WithOrders(orders []Order, starts []Point) Option {
-	return func(s *Service) { s.orders, s.starts = orders, starts }
+	return func(s *Service) {
+		if orders == nil {
+			s.failf("WithOrders: nil trace (omit the option to generate one)")
+			return
+		}
+		for i, o := range orders {
+			if err := o.Valid(); err != nil {
+				s.failf("WithOrders: order %d: %v", i, err)
+				return
+			}
+		}
+		s.orders, s.starts = orders, starts
+	}
 }
 
 // WithOptions overlays a full core options struct — an escape hatch for
 // callers migrating from the Runner API. Later With options still apply
-// on top.
+// on top. The struct is taken verbatim (zero fields mean defaults), so
+// it bypasses per-option validation.
 func WithOptions(opts Options) Option { return func(s *Service) { s.opts = opts } }
 
 // NewService builds a Service; zero options give the quickstart default:
 // a scaled NYC-like city, 100 drivers, the paper's batch timing and
-// oracle demand forecasts.
-func NewService(opts ...Option) *Service {
+// oracle demand forecasts. Invalid option arguments (non-positive fleet,
+// nil coster, a model-prediction mode without a model) are reported
+// here, joined, instead of failing deep inside the engine; the returned
+// Service is non-nil but refuses to run while invalid.
+func NewService(opts ...Option) (*Service, error) {
 	s := &Service{mode: PredictOracle}
 	for _, o := range opts {
 		o(s)
 	}
-	return s
+	return s, errors.Join(s.errs...)
 }
+
+// Err returns the joined option-validation errors, nil when the service
+// is runnable. Every entry point (Run, Serve, Start, Sweep) fails fast
+// with this error, so ignoring NewService's error cannot smuggle an
+// invalid configuration into the engine.
+func (s *Service) Err() error { return errors.Join(s.errs...) }
 
 // Options returns the service's (not yet defaulted) runner options.
 func (s *Service) Options() Options { return s.opts }
@@ -152,6 +271,9 @@ func (s *Service) newRunner(seed int64) *Runner {
 // WithOrders replay — under the named algorithm and returns its metrics.
 // The context cancels the run between batches.
 func (s *Service) Run(ctx context.Context, algorithm string) (*Metrics, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
 	d, err := core.NewDispatcher(algorithm, s.opts.Seed)
 	if err != nil {
 		return nil, err
@@ -170,6 +292,9 @@ func (s *Service) Runner() *Runner { return s.newRunner(s.opts.Seed) }
 // samples starts the way Run does. Producers stamping PostTime off the
 // wall clock need WithPace.
 func (s *Service) Serve(ctx context.Context, algorithm string, src OrderSource, starts []Point) (*Metrics, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
 	if src == nil {
 		return nil, fmt.Errorf("mrvd: Serve requires an OrderSource")
 	}
@@ -213,8 +338,287 @@ type SweepResult = core.SweepResult
 // would race across workers and pacing would throttle each cell to
 // wall-clock speed.
 func (s *Service) Sweep(ctx context.Context, spec SweepSpec) ([]SweepResult, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
 	if spec.Orders == nil {
 		spec.Orders, spec.Starts = s.orders, s.starts
 	}
 	return core.Sweep(ctx, s.opts, spec)
+}
+
+// OutcomeStatus is the terminal state of an order submitted through a
+// ServeHandle.
+type OutcomeStatus uint8
+
+// Outcome statuses.
+const (
+	// OutcomeAssigned: a driver was dispatched to the order.
+	OutcomeAssigned OutcomeStatus = iota + 1
+	// OutcomeExpired: the rider reneged past its pickup deadline.
+	OutcomeExpired
+	// OutcomeCanceled: the serve session ended (context cancellation,
+	// horizon, or drain) before the order reached a terminal state.
+	OutcomeCanceled
+)
+
+// String names the status for logs and JSON payloads.
+func (s OutcomeStatus) String() string {
+	switch s {
+	case OutcomeAssigned:
+		return "assigned"
+	case OutcomeExpired:
+		return "expired"
+	case OutcomeCanceled:
+		return "canceled"
+	default:
+		return "pending"
+	}
+}
+
+// Outcome is the terminal result of one submitted order: the dispatch
+// decision a production platform would push back to the rider's device.
+// Times are engine seconds.
+type Outcome struct {
+	Order  OrderID
+	Status OutcomeStatus
+	// Assigned-only fields.
+	Driver     DriverID
+	AssignedAt float64 // batch time of the assignment
+	PickedAt   float64 // when the driver reaches the pickup
+	FreeAt     float64 // when the trip completes
+	PickupCost float64 // deadhead seconds to the pickup
+	Revenue    float64 // trip cost, the order's revenue at alpha=1
+	// ExpiredAt is the batch time the rider reneged (expired-only).
+	ExpiredAt float64
+}
+
+// Submit error conditions a caller dispatches on (errors.Is).
+var (
+	// ErrServeFinished: the serve session has ended; no further orders
+	// are accepted.
+	ErrServeFinished = errors.New("mrvd: serve session finished")
+	// ErrQueueFull: the session's in-flight limit is reached; the
+	// caller should shed load (the HTTP gateway answers 429).
+	ErrQueueFull = errors.New("mrvd: in-flight order limit reached")
+)
+
+// ServeHandle is a live serve session started with Service.Start. It
+// owns the session's ChannelSource and routes engine events back to
+// per-order waiters, so callers — the HTTP gateway above all — can
+// await each order's outcome instead of only the run's final Metrics.
+// All methods are safe for concurrent use.
+type ServeHandle struct {
+	src    *ChannelSource
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	clockBits atomic.Uint64 // engine time of the latest batch
+
+	mu      sync.Mutex
+	nextID  OrderID
+	limit   int
+	waiters map[OrderID]chan Outcome
+
+	// Written once by the serve goroutine before done closes.
+	metrics *Metrics
+	err     error
+}
+
+// Start begins a live serve session and returns immediately with its
+// handle: the engine runs Serve on an internal ChannelSource in a
+// background goroutine while producers feed it through handle.Submit.
+// starts positions the fleet the way Serve does (nil samples from the
+// instance). Extra observers — a state store, an event broadcaster —
+// are subscribed for this session only and run before the handle's own
+// outcome routing (then the service-level WithObserver), so by the
+// time an awaited Outcome wakes its submitter every session observer
+// has already folded the event — a client that long-polled an
+// assignment reads its own write from the state store. Like every
+// observer they run inline on the engine goroutine and must be fast.
+//
+// The session ends when ctx is canceled, the horizon is reached, or —
+// after Close — the submitted stream drains; Result blocks for the
+// final metrics. Producers stamping PostTime off the wall clock need
+// WithPace (see Serve); gateways should instead stamp off Clock.
+func (s *Service) Start(ctx context.Context, algorithm string, starts []Point, observers ...Observer) (*ServeHandle, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	// Fail fast on an unknown algorithm: the serve goroutine would only
+	// surface it through Result, long after the caller wired a gateway.
+	if _, err := core.NewDispatcher(algorithm, s.opts.Seed); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	h := &ServeHandle{
+		src:     NewChannelSource(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		waiters: make(map[OrderID]chan Outcome),
+	}
+	obs := make(Observers, 0, len(observers)+2)
+	obs = append(obs, observers...)
+	obs = append(obs, h.observer())
+	if s.opts.Observer != nil {
+		obs = append(obs, s.opts.Observer)
+	}
+	run := *s
+	run.opts.Observer = obs
+	go func() {
+		m, err := run.Serve(ctx, algorithm, h.src, starts)
+		h.finish(m, err)
+		cancel()
+	}()
+	return h, nil
+}
+
+// observer routes engine events into the handle: the batch clock for
+// Clock, assignment and expiry events to their order's waiter.
+func (h *ServeHandle) observer() Observer {
+	return ObserverFuncs{
+		BatchStart: func(e BatchStartEvent) {
+			h.clockBits.Store(math.Float64bits(e.Now))
+		},
+		Assigned: func(e AssignedEvent) {
+			h.resolve(e.Rider.Order.ID, Outcome{
+				Order:      e.Rider.Order.ID,
+				Status:     OutcomeAssigned,
+				Driver:     e.Driver,
+				AssignedAt: e.Now,
+				PickedAt:   e.Rider.PickedAt,
+				FreeAt:     e.FreeAt,
+				PickupCost: e.PickupCost,
+				Revenue:    e.Revenue,
+			})
+		},
+		Expired: func(e ExpiredEvent) {
+			h.resolve(e.Rider.Order.ID, Outcome{
+				Order:     e.Rider.Order.ID,
+				Status:    OutcomeExpired,
+				ExpiredAt: e.Now,
+			})
+		},
+	}
+}
+
+func (h *ServeHandle) resolve(id OrderID, out Outcome) {
+	h.mu.Lock()
+	ch := h.waiters[id]
+	delete(h.waiters, id)
+	h.mu.Unlock()
+	if ch != nil {
+		ch <- out // buffered; never blocks the engine goroutine
+		close(ch)
+	}
+}
+
+// finish publishes the session result and cancels every waiter still
+// in flight. It runs on the serve goroutine, once.
+func (h *ServeHandle) finish(m *Metrics, err error) {
+	h.mu.Lock()
+	h.metrics, h.err = m, err
+	ws := h.waiters
+	h.waiters = nil // Submit fails from here on
+	h.mu.Unlock()
+	for id, ch := range ws {
+		ch <- Outcome{Order: id, Status: OutcomeCanceled}
+		close(ch)
+	}
+	close(h.done)
+}
+
+// Submit enqueues one order for dispatch and returns the session-unique
+// id assigned to it plus a single-use channel that receives the order's
+// terminal Outcome (assigned, expired, or canceled when the session
+// ends first) and is then closed. The submitted order's ID field is
+// overwritten with the assigned id; PostTime and Deadline are taken
+// verbatim — live producers should stamp PostTime at or near Clock so
+// the order's patience starts from the engine's present, not its past.
+func (h *ServeHandle) Submit(o Order) (OrderID, <-chan Outcome, error) {
+	h.mu.Lock()
+	if h.waiters == nil {
+		h.mu.Unlock()
+		return 0, nil, ErrServeFinished
+	}
+	// The bound check and the registration share one critical section,
+	// so the in-flight limit holds exactly under concurrent Submit —
+	// a check-then-act against InFlight() would overshoot.
+	if h.limit > 0 && len(h.waiters) >= h.limit {
+		h.mu.Unlock()
+		return 0, nil, ErrQueueFull
+	}
+	id := h.nextID
+	h.nextID++
+	o.ID = id
+	ch := make(chan Outcome, 1)
+	h.waiters[id] = ch
+	h.mu.Unlock()
+	if err := h.src.Submit(o); err != nil {
+		h.mu.Lock()
+		if h.waiters != nil {
+			delete(h.waiters, id)
+		}
+		h.mu.Unlock()
+		// A Close-d source while the session drains is the session
+		// going away, not the order's fault — surface it as such.
+		if errors.Is(err, sim.ErrSourceClosed) {
+			return 0, nil, ErrServeFinished
+		}
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// Clock returns the engine time of the most recent batch — the stamp a
+// gateway should put on incoming orders' PostTime so their patience
+// starts at the engine's present regardless of pacing. Before the
+// first batch it is 0.
+func (h *ServeHandle) Clock() float64 {
+	return math.Float64frombits(h.clockBits.Load())
+}
+
+// InFlight reports how many submitted orders have not reached a
+// terminal outcome yet. After the session ends it reports 0.
+func (h *ServeHandle) InFlight() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.waiters)
+}
+
+// SetInFlightLimit bounds how many submitted orders may await an
+// outcome at once: Submit fails with ErrQueueFull beyond it — the
+// admission-control lever behind the gateway's 429s. 0 (the default)
+// is unbounded.
+func (h *ServeHandle) SetInFlightLimit(n int) {
+	h.mu.Lock()
+	h.limit = n
+	h.mu.Unlock()
+}
+
+// Pending reports how many submitted orders the source has not yet
+// released into the engine.
+func (h *ServeHandle) Pending() int { return h.src.Pending() }
+
+// Close marks the order stream complete: already-submitted orders are
+// still dispatched, further Submit calls fail, and the session ends
+// once the stream drains (every rider terminal, every driver free).
+// Close is idempotent and does not wait; use Result to.
+func (h *ServeHandle) Close() { h.src.Close() }
+
+// Stop cancels the session's context: the engine exits between batches
+// and every in-flight order resolves to OutcomeCanceled. Stop does not
+// wait; use Result to.
+func (h *ServeHandle) Stop() { h.cancel() }
+
+// Done is closed once the session has fully finished: the engine
+// goroutine has exited and every waiter is resolved.
+func (h *ServeHandle) Done() <-chan struct{} { return h.done }
+
+// Result blocks until the session finishes and returns its final
+// metrics. A session stopped by context cancellation returns the
+// context's error (wrapped) and no metrics, matching Serve.
+func (h *ServeHandle) Result() (*Metrics, error) {
+	<-h.done
+	return h.metrics, h.err
 }
