@@ -2,6 +2,7 @@ package mrvd
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -11,7 +12,9 @@ import (
 	"mrvd/internal/matching"
 	"mrvd/internal/queueing"
 	"mrvd/internal/roadnet"
+	"mrvd/internal/shard"
 	"mrvd/internal/sim"
+	"mrvd/internal/trace"
 	"mrvd/internal/workload"
 )
 
@@ -276,6 +279,75 @@ func BenchmarkServeSubmit(b *testing.B) {
 			b.Fatal(err)
 		}
 		<-ch
+	}
+}
+
+// BenchmarkShardedDispatch measures city-scale dispatch throughput on
+// the partitioned multi-engine runtime at 1/2/4/8 shards: the 7-8am
+// peak hour of a heavy day (150K orders/day, 4000 drivers, 20s
+// batches, 16-nearest candidate cap) replayed end to end. Two
+// throughput metrics per shard count: orders/sec is wall-clock (flat
+// on a single core, where the engines interleave); dispatch-orders/sec
+// divides by the dispatch critical path — each round's slowest shard,
+// i.e. what parallel hardware realizes, since shards dispatch
+// concurrently and each scans only its own fleet slice for its own
+// riders. The committed BENCH_shard.json baseline tracks the 4-shard
+// speedup (the load harness reproduces the same scaling over HTTP:
+// mrvd-serve -shards N + mrvd-load).
+func BenchmarkShardedDispatch(b *testing.B) {
+	city := workload.NewCity(workload.CityConfig{OrdersPerDay: 150000, Seed: 31})
+	rng := rand.New(rand.NewSource(9))
+	day := city.GenerateDay(0, rng)
+	// Rebase the 7-8am peak to t=0: the interesting load is the morning
+	// rush, not the midnight lull a [0, 1h) horizon would replay.
+	const peakStart, horizon = 25200.0, 3600.0
+	var orders []trace.Order
+	for _, o := range day {
+		if o.PostTime >= peakStart && o.PostTime < peakStart+horizon {
+			o.PostTime -= peakStart
+			o.Deadline -= peakStart
+			orders = append(orders, o)
+		}
+	}
+	starts := city.InitialDrivers(4000, day, rng)
+	admitted := len(orders)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			dispatchSec := 0.0
+			for i := 0; i < b.N; i++ {
+				cfg := shard.Config{
+					Sim: sim.Config{
+						Grid: city.Grid(), Delta: 20, TC: 1200, Horizon: horizon,
+						CandidateCap: 16,
+					},
+					Shards:  shards,
+					Weights: shard.OrderWeights(city.Grid(), orders),
+				}
+				rt, err := shard.New(cfg, sim.NewSliceSource(orders), starts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+					return &dispatch.IRG{}, nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Aggregated BatchSeconds holds each round's slowest
+				// shard — summed, the dispatch layer's critical path.
+				for _, s := range m.BatchSeconds {
+					dispatchSec += s
+				}
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(admitted)*n/b.Elapsed().Seconds(), "orders/sec")
+			// The dispatch-layer ceiling: orders the critical path can
+			// decide per second. Shards dispatch concurrently, so this
+			// is the throughput parallel hardware realizes; the wall
+			// metric above is what one core realizes.
+			b.ReportMetric(float64(admitted)*n/dispatchSec, "dispatch-orders/sec")
+		})
 	}
 }
 

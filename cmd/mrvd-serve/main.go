@@ -9,7 +9,13 @@
 //
 //	mrvd-serve [-addr :8080] [-alg LS] [-drivers 100] [-orders 28000]
 //	           [-delta 3] [-pace 1] [-horizon 86400] [-max-pending 1024]
-//	           [-patience 300] [-road] [-seed 1]
+//	           [-patience 300] [-road] [-seed 1] [-shards 0] [-borrow]
+//
+// -shards N serves the session on the partitioned multi-engine runtime
+// (N lockstep engines, each owning a contiguous band of the city and
+// the drivers starting there); GET /v1/stats then carries a per-shard
+// breakdown. -borrow admits frontier orders to a neighbouring shard
+// when the owner has no driver in reach (default: strict ownership).
 //
 // By default the engine is paced to real time (-pace 1), so engine
 // seconds are wall seconds and order patience behaves like a wall
@@ -45,6 +51,8 @@ func main() {
 		patience   = flag.Float64("patience", 300, "default pickup patience (engine seconds)")
 		road       = flag.Bool("road", false, "price travel on the synthetic road network instead of closed-form")
 		seed       = flag.Int64("seed", 1, "instance seed")
+		shards     = flag.Int("shards", 0, "partitioned engines (0 = single unsharded engine)")
+		borrow     = flag.Bool("borrow", false, "candidate-borrow frontier policy for sharded sessions")
 	)
 	flag.Parse()
 
@@ -62,8 +70,20 @@ func main() {
 	if *pace > 0 {
 		opts = append(opts, mrvd.WithPace(*pace))
 	}
+	if *shards > 0 {
+		opts = append(opts, mrvd.WithShards(*shards))
+		if *borrow {
+			opts = append(opts, mrvd.WithBoundaryPolicy(mrvd.CandidateBorrow))
+		}
+	}
 	if *road {
-		opts = append(opts, mrvd.WithCoster(mrvd.GraphCoster(*seed)))
+		if *shards > 0 {
+			// One coster per shard over a shared network: identical
+			// prices, uncontended caches, per-shard cache counters.
+			opts = append(opts, mrvd.WithShardCosters(mrvd.GraphCosters(*seed)))
+		} else {
+			opts = append(opts, mrvd.WithCoster(mrvd.GraphCoster(*seed)))
+		}
 	}
 	svc, err := mrvd.NewService(opts...)
 	if err != nil {
@@ -94,8 +114,16 @@ func main() {
 		_ = hs.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("mrvd-serve: %s dispatch on %s (fleet %d, delta %.1fs, pace %.1fx, max-pending %d)\n",
-		*alg, *addr, *drivers, *delta, *pace, *maxPending)
+	runtime := "single engine"
+	if *shards > 0 {
+		policy := "strict"
+		if *borrow {
+			policy = "borrow"
+		}
+		runtime = fmt.Sprintf("%d shards/%s", *shards, policy)
+	}
+	fmt.Printf("mrvd-serve: %s dispatch on %s (fleet %d, delta %.1fs, pace %.1fx, max-pending %d, %s)\n",
+		*alg, *addr, *drivers, *delta, *pace, *maxPending, runtime)
 	fmt.Printf("  POST %s/v1/orders  {\"pickup\":{\"lng\":..,\"lat\":..},\"dropoff\":{..}}  (?wait=true to long-poll)\n", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

@@ -4,13 +4,16 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mrvd/internal/dispatch"
 	"mrvd/internal/geo"
 	"mrvd/internal/predict"
 	"mrvd/internal/queueing"
 	"mrvd/internal/roadnet"
+	"mrvd/internal/shard"
 	"mrvd/internal/sim"
+	"mrvd/internal/stats"
 	"mrvd/internal/trace"
 	"mrvd/internal/workload"
 )
@@ -68,6 +71,26 @@ type Options struct {
 	// see sim.Config.PaceFactor. Live RunSource serving with wall-clock
 	// producers needs this.
 	PaceFactor float64
+	// CandidateCap, when positive, prices only the CandidateCap nearest
+	// drivers per rider (sim.Config.CandidateCap) — the k-nearest
+	// pre-filter that bounds per-order matching work for very large
+	// fleets. 0 keeps the exact radius search.
+	CandidateCap int
+	// Shards, when >= 1, runs on the partitioned multi-engine runtime
+	// (internal/shard): the grid's regions are split across Shards
+	// lockstep engines, each owning the fleet slice starting in its
+	// territory. 0 (the default) runs the single unsharded engine.
+	// Shards == 1 is contractually identical to unsharded.
+	Shards int
+	// Borrow selects the CandidateBorrow frontier policy for sharded
+	// runs: orders whose owner shard has no available driver in reach
+	// may be admitted by a neighbouring shard that does. The default
+	// keeps strict region ownership.
+	Borrow bool
+	// ShardCosters optionally builds one coster per shard for sharded
+	// runs — e.g. a road-network coster per shard so tree caches don't
+	// contend. All instances must price identically. Nil shares Coster.
+	ShardCosters func(shard int) roadnet.Coster
 }
 
 // WithDefaults returns a copy of the options with every unset field
@@ -283,8 +306,12 @@ func (r *Runner) predictFn(mode PredictionMode, model predict.Predictor) (func(n
 		h := r.ensureHistory()
 		testDay := r.opts.TrainDays
 		// Memoize per-slot forecasts: the callback fires every batch.
+		// The mutex matters for sharded runs, where every shard's engine
+		// calls the shared callback concurrently.
+		var mu sync.Mutex
 		cache := make(map[int][]float64)
 		slotCount := func(slot, region int) float64 {
+			mu.Lock()
 			row, ok := cache[slot]
 			if !ok {
 				row = make([]float64, n)
@@ -293,6 +320,7 @@ func (r *Runner) predictFn(mode PredictionMode, model predict.Predictor) (func(n
 				}
 				cache[slot] = row
 			}
+			mu.Unlock()
 			return row[region]
 		}
 		return func(now, tc float64) []int {
@@ -311,6 +339,7 @@ func (r *Runner) simConfig(fn func(now, tc float64) []int) sim.Config {
 		Delta:           r.opts.Delta,
 		TC:              r.opts.TC,
 		Horizon:         r.opts.Horizon,
+		CandidateCap:    r.opts.CandidateCap,
 		PredictRiders:   fn,
 		Repositioner:    r.opts.Repositioner,
 		RepositionAfter: r.opts.RepositionAfter,
@@ -328,6 +357,88 @@ func (r *Runner) Run(ctx context.Context, d sim.Dispatcher, mode PredictionMode,
 		return nil, err
 	}
 	return sim.New(r.simConfig(fn), r.orders, r.starts).Run(ctx, d)
+}
+
+// shardConfig assembles the partitioned-runtime configuration for one
+// sharded run. The partition is demand-weighted: by the trace's pickup
+// counts when the instance has one, else by the city's expected
+// intensities — equal-area stripes would leave one shard with most of
+// a hotspot city's load.
+func (r *Runner) shardConfig(fn func(now, tc float64) []int) shard.Config {
+	cfg := shard.Config{
+		Sim:    r.simConfig(fn),
+		Shards: r.opts.Shards,
+	}
+	grid := r.opts.City.Grid()
+	if len(r.orders) > 0 {
+		cfg.Weights = shard.OrderWeights(grid, r.orders)
+	} else {
+		w := make([]float64, grid.NumRegions())
+		for _, row := range r.expected {
+			for k, v := range row {
+				w[k] += v
+			}
+		}
+		cfg.Weights = w
+	}
+	if r.opts.Borrow {
+		cfg.Policy = shard.CandidateBorrow
+	}
+	if r.opts.ShardCosters != nil {
+		cfg.Costers = make([]roadnet.Coster, r.opts.Shards)
+		for i := range cfg.Costers {
+			cfg.Costers[i] = r.opts.ShardCosters(i)
+		}
+	}
+	return cfg
+}
+
+// RunSharded executes one algorithm over the instance on the
+// partitioned multi-engine runtime with opts.Shards shards. The
+// aggregated metrics cover the whole city; a 1-shard run reproduces
+// Run exactly (see internal/shard).
+func (r *Runner) RunSharded(ctx context.Context, algorithm string, mode PredictionMode, model predict.Predictor) (*sim.Metrics, error) {
+	fn, err := r.predictFn(mode, model)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := shard.New(r.shardConfig(fn), sim.NewSliceSource(r.orders), r.starts)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run(ctx, ShardDispatchers(algorithm, r.opts.Seed, r.opts.Shards))
+}
+
+// ShardSession builds — but does not run — a sharded runtime over a
+// live order source, with drain-stop semantics matching RunSource.
+// It is the serving path's seam: the caller runs the returned runtime
+// and can expose its per-shard Stats while the session is live.
+func (r *Runner) ShardSession(src sim.OrderSource, starts []geo.Point, mode PredictionMode, model predict.Predictor) (*shard.Runtime, error) {
+	fn, err := r.predictFn(mode, model)
+	if err != nil {
+		return nil, err
+	}
+	if starts == nil {
+		starts = r.starts
+	}
+	cfg := r.shardConfig(fn)
+	cfg.Sim.StopWhenDrained = true
+	return shard.New(cfg, src, starts)
+}
+
+// ShardDispatchers returns the per-shard dispatcher factory for a
+// sharded run: every shard gets a fresh instance (dispatchers are
+// stateful), and stochastic dispatchers get decorrelated per-shard
+// seeds forked with stats.SplitSeed. A 1-shard run keeps the parent
+// seed so it reproduces the unsharded run exactly.
+func ShardDispatchers(algorithm string, seed int64, shards int) func(shard int) (sim.Dispatcher, error) {
+	return func(i int) (sim.Dispatcher, error) {
+		s := seed
+		if shards > 1 {
+			s = stats.SplitSeed(seed, i)
+		}
+		return NewDispatcher(algorithm, s)
+	}
 }
 
 // RunSource executes one algorithm over a streaming order source (e.g.

@@ -236,8 +236,12 @@ func Sweep(ctx context.Context, base Options, spec SweepSpec) ([]SweepResult, er
 						runner.ShareFrom(sb.runner)
 						model = sb.model
 					}
-					d, err := NewDispatcher(j.point.Algorithm, j.point.Seed)
-					if err != nil {
+					if base.Shards > 0 {
+						// Shard-aware cells: each runs the partitioned
+						// runtime (its shards step on their own
+						// goroutines, inside this worker's slot).
+						res.Metrics, res.Err = runner.RunSharded(ctx, j.point.Algorithm, spec.Mode, model)
+					} else if d, err := NewDispatcher(j.point.Algorithm, j.point.Seed); err != nil {
 						res.Err = err
 					} else {
 						res.Metrics, res.Err = runner.Run(ctx, d, spec.Mode, model)

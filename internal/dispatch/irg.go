@@ -20,6 +20,8 @@ type IRG struct {
 	// DisableMuUpdate turns off the line-11 feedback (ablation:
 	// BenchmarkAblationMuUpdate). Scores are then fixed at batch start.
 	DisableMuUpdate bool
+
+	est estimateCache
 }
 
 // Name implements sim.Dispatcher.
@@ -53,18 +55,35 @@ func (g *IRG) Assign(ctx *sim.Context) []sim.Assignment {
 // ET(lambda, mu), which averages over states the driver is not in. The
 // marginal remains what the idle-ratio ranking uses (Eq. 17).
 func (g *IRG) EstimateIdle(ctx *sim.Context, region geo.RegionID) float64 {
-	return conditionalIdleEstimate(g.model(), ctx, region)
+	return conditionalIdleEstimate(g.est.analyzer(g.model(), ctx), ctx, region)
+}
+
+// estimateCache memoizes the pre-dispatch analyzer the engine's
+// estimate sweep reads: every rejoined driver of a batch queries the
+// same unmutated batch snapshot, so one analyzer per Context serves
+// them all instead of one per driver. Dispatchers are per-run (and,
+// sharded, per-shard) instances, so the cache needs no locking.
+type estimateCache struct {
+	ctx *sim.Context
+	a   *queueing.Analyzer
+}
+
+func (c *estimateCache) analyzer(model *queueing.Model, ctx *sim.Context) *queueing.Analyzer {
+	if c.ctx != ctx {
+		c.a = buildAnalyzer(model, ctx)
+		c.ctx = ctx
+	}
+	return c.a
 }
 
 // conditionalIdleEstimate evaluates T(n) for a driver arriving in region
 // now: with waiting riders it is served at the next batch (half a batch
 // interval on average is negligible; the paper treats it as 0); with n
 // congested drivers ahead it waits for |n|+1 rider arrivals, (|n|+1)/lambda.
-func conditionalIdleEstimate(model *queueing.Model, ctx *sim.Context, region geo.RegionID) float64 {
+func conditionalIdleEstimate(a *queueing.Analyzer, ctx *sim.Context, region geo.RegionID) float64 {
 	if !ctx.Grid.Valid(region) {
 		return 0
 	}
-	a := buildAnalyzer(model, ctx)
 	lambda, _ := a.Rates(int(region))
 	waiting := ctx.WaitingPerRegion[region]
 	// The rejoined driver is already counted available; the queue ahead

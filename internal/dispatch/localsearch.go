@@ -34,6 +34,8 @@ type LS struct {
 	// MaxIterations bounds the sweep count (the paper's L_max).
 	// Default 16.
 	MaxIterations int
+
+	est estimateCache
 }
 
 // Name implements sim.Dispatcher.
@@ -237,5 +239,5 @@ func (s *lsState) augmentingChains() bool {
 // T(n) of Section 4.2 (see IRG.EstimateIdle).
 func (l *LS) EstimateIdle(ctx *sim.Context, region geo.RegionID) float64 {
 	l.init()
-	return conditionalIdleEstimate(l.Model, ctx, region)
+	return conditionalIdleEstimate(l.est.analyzer(l.Model, ctx), ctx, region)
 }

@@ -363,6 +363,12 @@ type statsResponse struct {
 	// Coster is the travel-cost cache counters for backends that expose
 	// them (the road-network coster does); null otherwise.
 	Coster *roadnet.CosterStats `json:"coster,omitempty"`
+	// Shards is the per-shard breakdown of a sharded session — one
+	// entry per shard with its territory, fleet slice, queue depths,
+	// dispatch batch timings, borrow counters and (with per-shard
+	// costers) travel-cost cache counters. Omitted when the session
+	// runs the single unsharded engine.
+	Shards []mrvd.ShardStats `json:"shards,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +379,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:       s.handle.InFlight(),
 		PendingRelease: s.handle.Pending(),
 		MaxPending:     s.cfg.MaxPending,
+		Shards:         s.handle.ShardStats(),
 	}
 	select {
 	case <-s.handle.Done():

@@ -1,0 +1,31 @@
+// Package shard is the partitioned multi-engine dispatch runtime: it
+// splits a city grid's regions across N independent sim.Engine
+// instances — each owning a disjoint region set and the slice of the
+// fleet that starts there — and steps them in lockstep batch rounds on
+// parallel goroutines.
+//
+// The pieces compose bottom-up:
+//
+//   - Partition deterministically assigns every region to exactly one
+//     shard, balanced within one region, in contiguous row-major
+//     stripes (the paper's queueing model is already per-region, so a
+//     region is the natural unit of ownership).
+//   - Router admits each live order to the shard owning its pickup
+//     region. Its boundary policy decides what happens when a rider's
+//     patience radius crosses a shard frontier: StrictOwnership always
+//     keeps the order home, CandidateBorrow probes neighbouring shards'
+//     available supply at batch-build time and routes the order to a
+//     reachable shard when the owner has no feasible driver.
+//   - Runtime owns the engines, drives the lockstep rounds, fans
+//     per-shard Observer events back into one coherent stream (driver
+//     ids remapped to the global fleet numbering, one synthesized
+//     city-wide BatchStart per round), re-homes idle drivers to the
+//     shard owning the territory they stand in (fleet ownership
+//     follows position — without it drivers strand wherever their
+//     last dropoff crossed a frontier), and merges per-shard Metrics
+//     into one aggregate identical in shape to an unsharded run's.
+//
+// A 1-shard Runtime is contractually equivalent to an unsharded
+// sim.Engine run: same admissions, same events in the same order, same
+// deterministic Metrics projection (see TestShardedOneShardParity).
+package shard

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"mrvd/internal/geo"
+)
+
+func TestPartitionCoversEveryRegionExactlyOnce(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 256} {
+		p, err := NewPartition(grid, n)
+		if err != nil {
+			t.Fatalf("NewPartition(%d): %v", n, err)
+		}
+		seen := make(map[geo.RegionID]ID)
+		for s := 0; s < n; s++ {
+			for _, k := range p.Regions(ID(s)) {
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("n=%d: region %d owned by shards %d and %d", n, k, prev, s)
+				}
+				seen[k] = ID(s)
+				if p.Owner(k) != ID(s) {
+					t.Fatalf("n=%d: Owner(%d)=%d, Regions says %d", n, k, p.Owner(k), s)
+				}
+			}
+		}
+		if len(seen) != grid.NumRegions() {
+			t.Fatalf("n=%d: %d regions assigned, want %d", n, len(seen), grid.NumRegions())
+		}
+	}
+}
+
+func TestPartitionBalancedWithinOneRegion(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 100} {
+		p, err := NewPartition(grid, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, max := grid.NumRegions(), 0
+		for s := 0; s < n; s++ {
+			size := len(p.Regions(ID(s)))
+			if size < min {
+				min = size
+			}
+			if size > max {
+				max = size
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d: shard sizes range [%d, %d], want spread <= 1", n, min, max)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	a, err := NewPartition(grid, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPartition(grid, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.owner, b.owner) {
+		t.Fatal("same (grid, n) produced different assignments")
+	}
+}
+
+func TestPartitionRejectsBadShardCounts(t *testing.T) {
+	grid := geo.NewGrid(geo.BBox{MinLng: 0, MinLat: 0, MaxLng: 1, MaxLat: 1}, 2, 2)
+	for _, n := range []int{0, -1, 5} {
+		if _, err := NewPartition(grid, n); err == nil {
+			t.Fatalf("NewPartition(%d) on 4 regions: want error", n)
+		}
+	}
+	if _, err := NewPartition(nil, 1); err == nil {
+		t.Fatal("NewPartition(nil grid): want error")
+	}
+}
+
+func TestPartitionFrontier(t *testing.T) {
+	// 4x4 grid, 2 shards: rows 0-1 belong to shard 0, rows 2-3 to
+	// shard 1 (row-major stripes of 8). Frontier = rows 1 and 2.
+	grid := geo.NewGrid(geo.BBox{MinLng: 0, MinLat: 0, MaxLng: 1, MaxLat: 1}, 4, 4)
+	p, err := NewPartition(grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < grid.NumRegions(); k++ {
+		row, _ := grid.RowCol(geo.RegionID(k))
+		wantFrontier := row == 1 || row == 2
+		if p.IsFrontier(geo.RegionID(k)) != wantFrontier {
+			t.Errorf("region %d (row %d): IsFrontier=%v, want %v",
+				k, row, p.IsFrontier(geo.RegionID(k)), wantFrontier)
+		}
+	}
+	if got := p.FrontierCount(0); got != 4 {
+		t.Errorf("shard 0 frontier count = %d, want 4", got)
+	}
+	// A 1-shard partition has no frontier anywhere.
+	solo, err := NewPartition(grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < grid.NumRegions(); k++ {
+		if solo.IsFrontier(geo.RegionID(k)) {
+			t.Fatalf("1-shard partition reports frontier region %d", k)
+		}
+	}
+}
+
+func TestWeightedPartitionCoversAndBalances(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	// Hotspot weights: all load in a few central rows.
+	weights := make([]float64, grid.NumRegions())
+	for k := range weights {
+		row, _ := grid.RowCol(geo.RegionID(k))
+		if row >= 5 && row <= 8 {
+			weights[k] = 100
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		p, err := NewWeightedPartition(grid, n, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Coverage: every region exactly once, every shard non-empty.
+		total := 0
+		for s := 0; s < n; s++ {
+			if len(p.Regions(ID(s))) == 0 {
+				t.Fatalf("n=%d: shard %d owns no territory", n, s)
+			}
+			total += len(p.Regions(ID(s)))
+		}
+		if total != grid.NumRegions() {
+			t.Fatalf("n=%d: %d regions assigned, want %d", n, total, grid.NumRegions())
+		}
+		// Balance: no shard carries more than a fair share plus the
+		// weight of one region stripe boundary can shift.
+		if n > 1 {
+			perShard := make([]float64, n)
+			for k, w := range weights {
+				perShard[p.Owner(geo.RegionID(k))] += w
+			}
+			sum := 0.0
+			for _, w := range perShard {
+				sum += w
+			}
+			maxRegion := 100.0
+			for s, w := range perShard {
+				if w > sum/float64(n)+maxRegion*float64(grid.Cols()) {
+					t.Fatalf("n=%d: shard %d carries %.0f of %.0f total", n, s, w, sum)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedPartitionDeterministic(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	weights := make([]float64, grid.NumRegions())
+	for k := range weights {
+		weights[k] = float64(k%7) + 0.5
+	}
+	a, _ := NewWeightedPartition(grid, 5, weights)
+	b, _ := NewWeightedPartition(grid, 5, weights)
+	if !reflect.DeepEqual(a.owner, b.owner) {
+		t.Fatal("same (grid, n, weights) produced different assignments")
+	}
+}
+
+func TestWeightedPartitionRejectsBadWeights(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	if _, err := NewWeightedPartition(grid, 2, make([]float64, 3)); err == nil {
+		t.Fatal("short weight vector accepted")
+	}
+	// Degenerate (all-zero) weights fall back to the uniform split.
+	p, err := NewWeightedPartition(grid, 4, make([]float64, grid.NumRegions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if got := len(p.Regions(ID(s))); got != 64 {
+			t.Fatalf("zero-weight fallback: shard %d owns %d regions, want 64", s, got)
+		}
+	}
+}
+
+func TestPartitionOwnerOfClampsOutsidePoints(t *testing.T) {
+	grid := geo.NewNYCGrid()
+	p, err := NewPartition(grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point far outside the box must still resolve to some shard.
+	s := p.OwnerOf(geo.Point{Lng: 0, Lat: 0})
+	if s < 0 || int(s) >= 4 {
+		t.Fatalf("OwnerOf(outside) = %d, want a valid shard", s)
+	}
+}

@@ -1,0 +1,555 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/sim"
+	"mrvd/internal/trace"
+)
+
+// Config parameterizes a partitioned runtime.
+type Config struct {
+	// Sim is the per-engine template: grid, coster, batch timing,
+	// horizon, prediction callback, repositioner, observer and pacing
+	// all mean what they mean for one sim.Engine. The Observer receives
+	// the aggregated city-wide stream (serialized across shards; driver
+	// ids are global fleet ids). Anything shared across shards — the
+	// Coster, PredictRiders, the Repositioner — must be safe for
+	// concurrent use, since shards step in parallel.
+	Sim sim.Config
+	// Shards is the engine count (required, >= 1).
+	Shards int
+	// Policy is the frontier boundary policy (default StrictOwnership).
+	Policy BoundaryPolicy
+	// Costers optionally gives each shard its own coster instance
+	// (len == Shards) — e.g. one road-network coster per shard so tree
+	// caches don't contend and /v1/stats can report per-shard cache
+	// counters. All instances must price identically or shards would
+	// disagree about travel times. Nil shares Sim.Coster.
+	Costers []roadnet.Coster
+	// Weights optionally balances the partition by expected per-region
+	// load instead of region count (see NewWeightedPartition) — use
+	// OrderWeights over the trace, or a demand model's intensities.
+	// Essential for hotspot-concentrated cities, where equal-area
+	// stripes would give one shard most of the work.
+	Weights []float64
+}
+
+// Stats is one shard's live snapshot, updated every lockstep round.
+type Stats struct {
+	Shard           int `json:"shard"`
+	Regions         int `json:"regions"`
+	FrontierRegions int `json:"frontier_regions"`
+	Drivers         int `json:"drivers"`
+	Waiting         int `json:"waiting"`
+	Available       int `json:"available"`
+	// Admitted counts orders routed to this shard; BorrowedIn the subset
+	// admitted here under CandidateBorrow although another shard owns
+	// their pickup region.
+	Admitted   int `json:"admitted"`
+	BorrowedIn int `json:"borrowed_in"`
+	Served     int `json:"served"`
+	Reneged    int `json:"reneged"`
+	Batches    int `json:"batches"`
+	// Dispatch wall time of this shard's StepDispatch per round, ms.
+	AvgBatchMS  float64 `json:"avg_batch_ms"`
+	MaxBatchMS  float64 `json:"max_batch_ms"`
+	LastBatchMS float64 `json:"last_batch_ms"`
+	// Coster carries the shard's travel-cost cache counters when its
+	// coster exposes them (per-shard Costers only).
+	Coster *roadnet.CosterStats `json:"coster,omitempty"`
+}
+
+// Runtime drives N sim.Engines over a partitioned city in lockstep
+// batch rounds. Build with New, execute once with Run; Stats may be
+// called concurrently with Run from other goroutines.
+type Runtime struct {
+	cfg    Config
+	part   *Partition
+	router *Router
+	src    sim.OrderSource
+	sized  int // total orders when src is sized, else -1
+
+	engines []*sim.Engine
+	feeds   []*feedSource
+	costers []roadnet.Coster
+	// global[i][local] is the fleet-wide driver id of shard i's local
+	// driver index — the remap the event aggregator applies.
+	global [][]sim.DriverID
+
+	// downstream is the city-wide observer; obsMu serializes the
+	// per-shard event fan-in so it sees one coherent stream.
+	downstream sim.Observer
+	obsMu      sync.Mutex
+
+	// work feeds the persistent per-shard workers; phase is the
+	// barrier both lockstep phases wait on.
+	work  []chan func(int)
+	phase sync.WaitGroup
+
+	statsMu    sync.Mutex
+	stats      []Stats
+	batchSumMS []float64
+}
+
+// New partitions the grid, splits the fleet by start region, and builds
+// one engine per shard. src supplies the city-wide order stream —
+// anything an unsharded engine accepts (a SliceSource trace, a live
+// ChannelSource) — and is polled only from Run's coordinator goroutine.
+func New(cfg Config, src sim.OrderSource, starts []geo.Point) (*Runtime, error) {
+	if src == nil {
+		return nil, fmt.Errorf("shard: nil order source")
+	}
+	if cfg.Costers != nil && len(cfg.Costers) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d costers for %d shards", len(cfg.Costers), cfg.Shards)
+	}
+	cfg.Sim = cfg.Sim.WithDefaults()
+	part, err := NewWeightedPartition(cfg.Sim.Grid, cfg.Shards, cfg.Weights)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Sim.Shifts) > 0 && len(cfg.Sim.Shifts) != len(starts) {
+		return nil, fmt.Errorf("shard: %d shifts for %d drivers", len(cfg.Sim.Shifts), len(starts))
+	}
+
+	rt := &Runtime{
+		cfg:        cfg,
+		part:       part,
+		src:        src,
+		sized:      -1,
+		engines:    make([]*sim.Engine, cfg.Shards),
+		feeds:      make([]*feedSource, cfg.Shards),
+		costers:    make([]roadnet.Coster, cfg.Shards),
+		global:     make([][]sim.DriverID, cfg.Shards),
+		downstream: cfg.Sim.Observer,
+		stats:      make([]Stats, cfg.Shards),
+		batchSumMS: make([]float64, cfg.Shards),
+	}
+	if sized, ok := src.(sim.SizedSource); ok {
+		rt.sized = sized.TotalOrders()
+	}
+
+	// Deal the fleet: a driver belongs to the shard owning its start
+	// region, keeping its global index for event remapping.
+	shardStarts := make([][]geo.Point, cfg.Shards)
+	shardShifts := make([][]sim.Shift, cfg.Shards)
+	for i, p := range starts {
+		s := part.OwnerOf(p)
+		rt.global[s] = append(rt.global[s], sim.DriverID(i))
+		shardStarts[s] = append(shardStarts[s], p)
+		if len(cfg.Sim.Shifts) > 0 {
+			shardShifts[s] = append(shardShifts[s], cfg.Sim.Shifts[i])
+		}
+	}
+
+	probes := make([]SupplyProbe, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		ecfg := cfg.Sim
+		ecfg.Observer = &tap{rt: rt, shard: ID(s)}
+		ecfg.PaceFactor = 0          // the coordinator paces the rounds
+		ecfg.StopWhenDrained = false // the coordinator decides drain city-wide
+		ecfg.Shifts = shardShifts[s]
+		if cfg.Costers != nil {
+			ecfg.Coster = cfg.Costers[s]
+		}
+		rt.costers[s] = ecfg.Coster
+		rt.feeds[s] = &feedSource{}
+		rt.engines[s] = sim.NewWithSource(ecfg, rt.feeds[s], shardStarts[s])
+		probes[s] = rt.engines[s]
+		rt.stats[s] = Stats{
+			Shard:           s,
+			Regions:         len(part.Regions(ID(s))),
+			FrontierRegions: part.FrontierCount(ID(s)),
+			Drivers:         len(shardStarts[s]),
+		}
+	}
+	rt.router = NewRouter(part, cfg.Policy, cfg.Sim.RadiusSpeedMPS, probes)
+	return rt, nil
+}
+
+// NumShards returns the shard count.
+func (rt *Runtime) NumShards() int { return rt.cfg.Shards }
+
+// Partition exposes the region-to-shard assignment.
+func (rt *Runtime) Partition() *Partition { return rt.part }
+
+// Run executes the lockstep batch loop: each round routes newly posted
+// orders to their shards, steps every engine's admission phase in
+// parallel, synthesizes one city-wide BatchStart, then steps every
+// engine's dispatch phase in parallel. newDispatcher builds shard i's
+// dispatcher — one instance per shard, since dispatchers are stateful.
+// The context cancels between rounds, exactly like Engine.Run. A
+// runtime is single-use.
+func (rt *Runtime) Run(ctx context.Context, newDispatcher func(shard int) (sim.Dispatcher, error)) (*sim.Metrics, error) {
+	n := rt.cfg.Shards
+	dispatchers := make([]sim.Dispatcher, n)
+	for i := range dispatchers {
+		d, err := newDispatcher(i)
+		if err != nil {
+			return nil, err
+		}
+		dispatchers[i] = d
+	}
+	for _, e := range rt.engines {
+		if err := e.Begin(); err != nil {
+			return nil, err
+		}
+	}
+	rt.startWorkers()
+	defer rt.stopWorkers()
+
+	cfg := rt.cfg.Sim
+	errs := make([]error, n)
+	round := 0
+	wallStart := time.Now()
+	for now := 0.0; now < cfg.Horizon; now += cfg.Delta {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("shard: run stopped at t=%.0fs: %w", now, err)
+		}
+		if cfg.PaceFactor > 0 {
+			target := wallStart.Add(time.Duration(now / cfg.PaceFactor * float64(time.Second)))
+			if wait := time.Until(target); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return nil, fmt.Errorf("shard: run stopped at t=%.0fs: %w", now, ctx.Err())
+				case <-t.C:
+				}
+			}
+		} else {
+			// Same courtesy yield as a free-running engine: keep live
+			// submitters schedulable at GOMAXPROCS=1.
+			runtime.Gosched()
+		}
+
+		// Route this round's newly posted orders. The router may probe
+		// shard supply (CandidateBorrow); engines are quiescent between
+		// rounds, so the probes are race-free.
+		ready, done := rt.src.Poll(now)
+		for _, o := range ready {
+			s, borrowed := rt.router.Route(o, now)
+			rt.feeds[s].push(o)
+			rt.statsMu.Lock()
+			rt.stats[s].Admitted++
+			if borrowed {
+				rt.stats[s].BorrowedIn++
+			}
+			rt.statsMu.Unlock()
+		}
+		if done {
+			for _, f := range rt.feeds {
+				f.markDone()
+			}
+		}
+
+		rt.parallel(func(i int) { rt.engines[i].StepAdmit(now) })
+		rt.rehomeFleet()
+
+		waiting, available := rt.snapshotCounts()
+		if cfg.StopWhenDrained && done && rt.allDrained() {
+			break
+		}
+		if rt.downstream != nil {
+			// One city-wide batch boundary per round, in the same
+			// admission→renege→BatchStart→dispatch position an unsharded
+			// engine fires it.
+			rt.obsMu.Lock()
+			rt.downstream.OnBatchStart(sim.BatchStartEvent{
+				Now:       now,
+				Batch:     round,
+				Waiting:   waiting,
+				Available: available,
+			})
+			rt.obsMu.Unlock()
+		}
+
+		rt.parallel(func(i int) {
+			start := time.Now()
+			if err := rt.engines[i].StepDispatch(now, dispatchers[i]); err != nil && errs[i] == nil {
+				errs[i] = err
+			}
+			rt.recordBatch(i, time.Since(start))
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		round++
+	}
+
+	ms := make([]*sim.Metrics, n)
+	for i, e := range rt.engines {
+		ms[i] = e.Finish()
+	}
+	return rt.aggregate(ms), nil
+}
+
+// startWorkers launches one persistent goroutine per shard. The
+// lockstep loop runs thousands of two-phase rounds; reusing workers
+// keeps the per-round cost to two channel hops instead of goroutine
+// spawns. A 1-shard runtime skips workers entirely and steps inline —
+// it must not pay any overhead the unsharded engine doesn't.
+func (rt *Runtime) startWorkers() {
+	if len(rt.engines) == 1 {
+		return
+	}
+	rt.work = make([]chan func(int), len(rt.engines))
+	for i := range rt.engines {
+		ch := make(chan func(int), 1)
+		rt.work[i] = ch
+		go func(i int, ch chan func(int)) {
+			for f := range ch {
+				f(i)
+				rt.phase.Done()
+			}
+		}(i, ch)
+	}
+}
+
+func (rt *Runtime) stopWorkers() {
+	for _, ch := range rt.work {
+		close(ch)
+	}
+	rt.work = nil
+}
+
+// parallel runs f(i) for every shard and waits for all of them — the
+// barrier between lockstep phases.
+func (rt *Runtime) parallel(f func(i int)) {
+	if len(rt.engines) == 1 {
+		f(0)
+		return
+	}
+	rt.phase.Add(len(rt.work))
+	for _, ch := range rt.work {
+		ch <- f
+	}
+	rt.phase.Wait()
+}
+
+// rehomeFleet migrates every available driver standing in territory
+// owned by another shard to that shard's engine — fleet ownership
+// follows position. Without it drivers strand: a trip whose dropoff
+// lands across a frontier leaves the driver in an engine that will
+// never receive orders near it. Runs on the coordinator between the
+// admit and dispatch barriers, so a driver freed this round is
+// assignable by its new shard in the same round. The scan order
+// (shards ascending, local ids ascending) keeps re-homing — and hence
+// the whole run — deterministic.
+func (rt *Runtime) rehomeFleet() {
+	if len(rt.engines) == 1 {
+		return
+	}
+	type move struct {
+		id sim.DriverID
+		to ID
+	}
+	var moves []move
+	for i, e := range rt.engines {
+		moves = moves[:0]
+		e.EachAvailable(func(id sim.DriverID, pos geo.Point) {
+			if owner := rt.part.OwnerOf(pos); owner != ID(i) {
+				moves = append(moves, move{id: id, to: owner})
+			}
+		})
+		for _, mv := range moves {
+			pos, freeAt, shift, ok := e.RemoveDriver(mv.id)
+			if !ok {
+				continue
+			}
+			rt.engines[mv.to].AddDriver(pos, freeAt, shift)
+			// The new local id is always the next slot, so the global
+			// mapping grows in lockstep with the receiving engine.
+			rt.global[mv.to] = append(rt.global[mv.to], rt.global[i][mv.id])
+			rt.statsMu.Lock()
+			rt.stats[i].Drivers--
+			rt.stats[mv.to].Drivers++
+			rt.statsMu.Unlock()
+		}
+	}
+}
+
+// snapshotCounts refreshes each shard's waiting/available stats at the
+// round barrier and returns the city-wide sums.
+func (rt *Runtime) snapshotCounts() (waiting, available int) {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	for i, e := range rt.engines {
+		w, a := e.Counts()
+		rt.stats[i].Waiting = w
+		rt.stats[i].Available = a
+		waiting += w
+		available += a
+	}
+	return waiting, available
+}
+
+// allDrained reports whether every engine is drained (call only between
+// rounds).
+func (rt *Runtime) allDrained() bool {
+	for _, e := range rt.engines {
+		if !e.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// recordBatch folds one shard's dispatch wall time into its stats.
+func (rt *Runtime) recordBatch(i int, d time.Duration) {
+	ms := d.Seconds() * 1000
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	s := &rt.stats[i]
+	s.Batches++
+	s.LastBatchMS = ms
+	rt.batchSumMS[i] += ms
+	s.AvgBatchMS = rt.batchSumMS[i] / float64(s.Batches)
+	if ms > s.MaxBatchMS {
+		s.MaxBatchMS = ms
+	}
+}
+
+// Stats returns a snapshot of every shard's live counters, including
+// per-shard coster cache stats when the shard's coster exposes them.
+// Safe for concurrent use with Run.
+func (rt *Runtime) Stats() []Stats {
+	rt.statsMu.Lock()
+	out := make([]Stats, len(rt.stats))
+	copy(out, rt.stats)
+	rt.statsMu.Unlock()
+	for i := range out {
+		if c, ok := rt.costers[i].(interface{ Stats() roadnet.CosterStats }); ok {
+			st := c.Stats()
+			out[i].Coster = &st
+		}
+	}
+	return out
+}
+
+// aggregate merges per-shard metrics into one city-wide Metrics whose
+// deterministic projection (Summary) matches what a single engine over
+// the union would report. BatchSeconds takes each round's slowest shard
+// — the parallel critical path. IdleRecords concatenate shard-major
+// with driver ids remapped to the global fleet numbering.
+func (rt *Runtime) aggregate(ms []*sim.Metrics) *sim.Metrics {
+	if len(ms) == 1 {
+		m := ms[0]
+		if rt.sized >= 0 {
+			m.TotalOrders = rt.sized
+		}
+		return m
+	}
+	agg := &sim.Metrics{}
+	rounds := 0
+	for _, m := range ms {
+		agg.Revenue += m.Revenue
+		agg.Served += m.Served
+		agg.Reneged += m.Reneged
+		agg.TotalOrders += m.TotalOrders
+		agg.PickupSeconds += m.PickupSeconds
+		if m.Batches > rounds {
+			rounds = m.Batches
+		}
+	}
+	agg.Batches = rounds
+	agg.BatchSeconds = make([]float64, rounds)
+	for _, m := range ms {
+		for r, s := range m.BatchSeconds {
+			if s > agg.BatchSeconds[r] {
+				agg.BatchSeconds[r] = s
+			}
+		}
+	}
+	for i, m := range ms {
+		for _, rec := range m.IdleRecords {
+			rec.Driver = rt.global[i][rec.Driver]
+			agg.IdleRecords = append(agg.IdleRecords, rec)
+		}
+	}
+	if rt.sized >= 0 {
+		agg.TotalOrders = rt.sized
+	}
+	return agg
+}
+
+// tap is the per-shard observer: it forwards engine events to the
+// runtime's downstream observer with driver ids remapped to the global
+// fleet numbering, serialized across shards. Per-shard BatchStart
+// events are absorbed — the coordinator synthesizes the city-wide one.
+type tap struct {
+	rt    *Runtime
+	shard ID
+}
+
+func (t *tap) OnBatchStart(sim.BatchStartEvent) {}
+
+func (t *tap) OnAssigned(e sim.AssignedEvent) {
+	rt := t.rt
+	rt.statsMu.Lock()
+	rt.stats[t.shard].Served++
+	rt.statsMu.Unlock()
+	if rt.downstream == nil {
+		return
+	}
+	e.Driver = rt.global[t.shard][e.Driver]
+	rt.obsMu.Lock()
+	rt.downstream.OnAssigned(e)
+	rt.obsMu.Unlock()
+}
+
+func (t *tap) OnExpired(e sim.ExpiredEvent) {
+	rt := t.rt
+	rt.statsMu.Lock()
+	rt.stats[t.shard].Reneged++
+	rt.statsMu.Unlock()
+	if rt.downstream == nil {
+		return
+	}
+	rt.obsMu.Lock()
+	rt.downstream.OnExpired(e)
+	rt.obsMu.Unlock()
+}
+
+func (t *tap) OnRepositioned(e sim.RepositionedEvent) {
+	rt := t.rt
+	if rt.downstream == nil {
+		return
+	}
+	e.Driver = rt.global[t.shard][e.Driver]
+	rt.obsMu.Lock()
+	rt.downstream.OnRepositioned(e)
+	rt.obsMu.Unlock()
+}
+
+// feedSource is the runtime-owned per-shard order queue: the
+// coordinator pushes routed orders between rounds, the shard's engine
+// drains them at its next StepAdmit. The lockstep barriers provide the
+// happens-before edges, so no locking is needed — pushes and polls
+// never overlap.
+type feedSource struct {
+	staged []trace.Order
+	done   bool
+}
+
+func (f *feedSource) push(o trace.Order) { f.staged = append(f.staged, o) }
+func (f *feedSource) markDone()          { f.done = true }
+
+// Poll implements sim.OrderSource: everything staged is already due
+// (the coordinator routes only orders the city-wide source released).
+// The backing array is recycled for the next round's pushes — sound
+// because admitOrders copies each order into its Rider before the next
+// route phase can overwrite the slice.
+func (f *feedSource) Poll(float64) ([]trace.Order, bool) {
+	ready := f.staged
+	f.staged = f.staged[:0]
+	return ready, f.done
+}

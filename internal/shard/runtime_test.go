@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mrvd/internal/dispatch"
+	"mrvd/internal/geo"
+	"mrvd/internal/sim"
+	"mrvd/internal/trace"
+	"mrvd/internal/workload"
+)
+
+// testInstance generates a small deterministic problem instance.
+func testInstance(t *testing.T, orders, fleet int) ([]trace.Order, []geo.Point, *geo.Grid) {
+	t.Helper()
+	city := workload.NewCity(workload.CityConfig{OrdersPerDay: orders, Seed: 17})
+	rng := rand.New(rand.NewSource(5))
+	day := city.GenerateDay(0, rng)
+	starts := city.InitialDrivers(fleet, day, rng)
+	return day, starts, city.Grid()
+}
+
+// eventLog records a scalar projection of every observer event, so two
+// runs can be compared for stream-identical behaviour.
+type eventLog struct {
+	entries []string
+}
+
+func (l *eventLog) OnBatchStart(e sim.BatchStartEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("batch %d t=%.0f w=%d a=%d", e.Batch, e.Now, e.Waiting, e.Available))
+}
+func (l *eventLog) OnAssigned(e sim.AssignedEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("assign o=%d d=%d t=%.0f pc=%.3f rev=%.3f",
+		e.Rider.Order.ID, e.Driver, e.Now, e.PickupCost, e.Revenue))
+}
+func (l *eventLog) OnExpired(e sim.ExpiredEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("expire o=%d t=%.0f", e.Rider.Order.ID, e.Now))
+}
+func (l *eventLog) OnRepositioned(e sim.RepositionedEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("repos d=%d t=%.0f", e.Driver, e.Now))
+}
+
+// TestOneShardParity is the contract check the issue demands: a 1-shard
+// runtime must reproduce the unsharded engine exactly — same metrics
+// projection, same idle ledger, same event stream in the same order.
+func TestOneShardParity(t *testing.T) {
+	orders, starts, grid := testInstance(t, 1500, 40)
+	cfg := sim.Config{Grid: grid, Delta: 3, TC: 1200, Horizon: 4 * 3600}
+
+	baseCfg := cfg
+	baseLog := &eventLog{}
+	baseCfg.Observer = baseLog
+	base, err := sim.New(baseCfg, orders, starts).Run(context.Background(), &dispatch.IRG{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shardCfg := cfg
+	shardLog := &eventLog{}
+	shardCfg.Observer = shardLog
+	rt, err := New(Config{Sim: shardCfg, Shards: 1}, sim.NewSliceSource(orders), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+		return &dispatch.IRG{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.Summary() != sharded.Summary() {
+		t.Fatalf("summaries differ:\n  unsharded: %+v\n  1-shard:   %+v", base.Summary(), sharded.Summary())
+	}
+	if !reflect.DeepEqual(base.IdleRecords, sharded.IdleRecords) {
+		t.Fatalf("idle ledgers differ: %d vs %d records", len(base.IdleRecords), len(sharded.IdleRecords))
+	}
+	if len(base.BatchSeconds) != len(sharded.BatchSeconds) {
+		t.Fatalf("batch counts differ: %d vs %d", len(base.BatchSeconds), len(sharded.BatchSeconds))
+	}
+	if !reflect.DeepEqual(baseLog.entries, shardLog.entries) {
+		for i := range baseLog.entries {
+			if i >= len(shardLog.entries) || baseLog.entries[i] != shardLog.entries[i] {
+				t.Fatalf("event streams diverge at %d:\n  unsharded: %s\n  1-shard:   %s",
+					i, baseLog.entries[i], shardLog.entries[i])
+			}
+		}
+		t.Fatalf("event stream lengths differ: %d vs %d", len(baseLog.entries), len(shardLog.entries))
+	}
+	if sharded.TotalOrders != len(orders) {
+		t.Fatalf("TotalOrders = %d, want the full trace %d", sharded.TotalOrders, len(orders))
+	}
+}
+
+// TestShardedConservation checks the partitioned run neither loses nor
+// duplicates orders or drivers.
+func TestShardedConservation(t *testing.T) {
+	orders, starts, grid := testInstance(t, 1500, 40)
+	cfg := sim.Config{Grid: grid, Delta: 3, TC: 1200, Horizon: 4 * 3600}
+
+	rt, err := New(Config{Sim: cfg, Shards: 4}, sim.NewSliceSource(orders), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+		return &dispatch.IRG{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats := rt.Stats()
+	admitted, drivers := 0, 0
+	for _, s := range stats {
+		admitted += s.Admitted
+		drivers += s.Drivers
+	}
+	if drivers != len(starts) {
+		t.Fatalf("fleet split lost drivers: %d across shards, want %d", drivers, len(starts))
+	}
+	// Every order posted before the horizon is admitted to exactly one
+	// shard (the horizon cuts the day at 4h, so count expected ones).
+	expected := 0
+	for _, o := range orders {
+		if o.PostTime < cfg.Horizon {
+			expected++
+		}
+	}
+	if admitted != expected {
+		t.Fatalf("admitted %d orders across shards, want %d", admitted, expected)
+	}
+	if m.Served+m.Reneged > m.TotalOrders {
+		t.Fatalf("served %d + reneged %d exceeds total %d", m.Served, m.Reneged, m.TotalOrders)
+	}
+	if m.Served == 0 {
+		t.Fatal("sharded run served nothing; instance too small or routing broken")
+	}
+	if m.TotalOrders != len(orders) {
+		t.Fatalf("TotalOrders = %d, want sized total %d", m.TotalOrders, len(orders))
+	}
+}
+
+// TestShardedDeterminism: the same instance at the same shard count
+// produces identical deterministic metrics run-to-run.
+func TestShardedDeterminism(t *testing.T) {
+	orders, starts, grid := testInstance(t, 1200, 32)
+	run := func() (*sim.Metrics, []Stats) {
+		cfg := sim.Config{Grid: grid, Delta: 3, TC: 1200, Horizon: 3 * 3600}
+		rt, err := New(Config{Sim: cfg, Shards: 4}, sim.NewSliceSource(orders), starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+			return &dispatch.IRG{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rt.Stats()
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if m1.Summary() != m2.Summary() {
+		t.Fatalf("4-shard runs differ:\n  first:  %+v\n  second: %+v", m1.Summary(), m2.Summary())
+	}
+	if !reflect.DeepEqual(m1.IdleRecords, m2.IdleRecords) {
+		t.Fatal("4-shard idle ledgers differ between identical runs")
+	}
+	for i := range s1 {
+		if s1[i].Admitted != s2[i].Admitted || s1[i].Served != s2[i].Served || s1[i].Reneged != s2[i].Reneged {
+			t.Fatalf("shard %d counters differ between identical runs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestCandidateBorrowServesFrontierRider constructs a frontier rider
+// whose owner shard has no driver at all while the neighbouring shard
+// has one within the patience radius: strict ownership must renege,
+// candidate borrow must serve.
+func TestCandidateBorrowServesFrontierRider(t *testing.T) {
+	// 4x4 grid over a ~4.4km box near the equator; 2 shards split it
+	// into south (rows 0-1, shard 0) and north (rows 2-3, shard 1).
+	grid := geo.NewGrid(geo.BBox{MinLng: 0, MinLat: 0, MaxLng: 0.04, MaxLat: 0.04}, 4, 4)
+	// Rider posts in row 1 (shard 0 frontier); the only driver idles
+	// just across the frontier in row 2 (shard 1), ~550m away.
+	order := trace.Order{
+		ID:       1,
+		PostTime: 0,
+		Deadline: 300,
+		Pickup:   geo.Point{Lng: 0.005, Lat: 0.0175},
+		Dropoff:  geo.Point{Lng: 0.030, Lat: 0.0050},
+	}
+	starts := []geo.Point{{Lng: 0.005, Lat: 0.0225}}
+
+	run := func(policy BoundaryPolicy) (*sim.Metrics, []Stats) {
+		cfg := sim.Config{Grid: grid, Delta: 3, TC: 600, Horizon: 1800, StopWhenDrained: true}
+		rt, err := New(Config{Sim: cfg, Shards: 2, Policy: policy},
+			sim.NewSliceSource([]trace.Order{order}), starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+			return dispatch.NEAR{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rt.Stats()
+	}
+
+	strict, strictStats := run(StrictOwnership)
+	if strict.Served != 0 || strict.Reneged != 1 {
+		t.Fatalf("strict: served=%d reneged=%d, want the frontier rider to renege", strict.Served, strict.Reneged)
+	}
+	if strictStats[0].Admitted != 1 || strictStats[1].Admitted != 0 {
+		t.Fatalf("strict: order admitted to shards %+v, want only the owner (shard 0)", strictStats)
+	}
+
+	borrow, borrowStats := run(CandidateBorrow)
+	if borrow.Served != 1 {
+		t.Fatalf("borrow: served=%d reneged=%d, want the neighbour shard to serve", borrow.Served, borrow.Reneged)
+	}
+	if borrowStats[1].Admitted != 1 || borrowStats[1].BorrowedIn != 1 {
+		t.Fatalf("borrow: shard stats %+v, want shard 1 to report one borrowed admission", borrowStats)
+	}
+}
+
+// TestRuntimeCancellation: a canceled context stops the run between
+// rounds with the context error, matching Engine.Run.
+func TestRuntimeCancellation(t *testing.T) {
+	orders, starts, grid := testInstance(t, 800, 16)
+	cfg := sim.Config{Grid: grid, Delta: 3, TC: 1200, Horizon: 24 * 3600}
+	rt, err := New(Config{Sim: cfg, Shards: 2}, sim.NewSliceSource(orders), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rt.Run(ctx, func(int) (sim.Dispatcher, error) {
+		return dispatch.NEAR{}, nil
+	}); err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+}
+
+// TestRuntimeSingleUse: a runtime refuses to run twice.
+func TestRuntimeSingleUse(t *testing.T) {
+	orders, starts, grid := testInstance(t, 200, 8)
+	cfg := sim.Config{Grid: grid, Delta: 3, TC: 1200, Horizon: 600}
+	rt, err := New(Config{Sim: cfg, Shards: 2}, sim.NewSliceSource(orders), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(int) (sim.Dispatcher, error) { return dispatch.NEAR{}, nil }
+	if _, err := rt.Run(context.Background(), factory); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(context.Background(), factory); err == nil {
+		t.Fatal("second Run returned nil error; want already-ran failure")
+	}
+}

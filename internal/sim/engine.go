@@ -88,6 +88,12 @@ type Repositioner interface {
 	Target(ctx *Context, driver *Driver, region geo.RegionID) (geo.Point, bool)
 }
 
+// WithDefaults returns a copy of the config with every unset field
+// replaced by its documented default — what New and NewWithSource apply
+// at construction. Coordinators that run their own batch loop over the
+// config's timing (internal/shard) resolve it once up front.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Grid == nil {
 		c.Grid = geo.NewNYCGrid()
@@ -231,30 +237,15 @@ func NewWithSource(cfg Config, src OrderSource, driverStarts []geo.Point) *Engin
 // collected metrics. The context cancels the run between batches: a
 // canceled or deadline-exceeded run returns the context's error (wrapped
 // — test with errors.Is) and no metrics. An engine is single-use.
+//
+// Run is the self-driving composition of the stepping API below: Begin,
+// then per batch StepAdmit + StepDispatch, then Finish. Callers that
+// need to interleave several engines in lockstep — the sharded runtime
+// in internal/shard — drive the steps directly instead.
 func (e *Engine) Run(ctx context.Context, d Dispatcher) (*Metrics, error) {
-	if e.ran {
-		return nil, errors.New("sim: engine already ran; build a new one")
+	if err := e.Begin(); err != nil {
+		return nil, err
 	}
-	e.ran = true
-	estimator, _ := d.(IdleEstimating)
-
-	// The starting fleet's idle-before-first-rider (the paper's psi_0j)
-	// is part of the ledger too.
-	for i := range e.drivers {
-		if e.drivers[i].State != Available {
-			continue
-		}
-		region, _ := e.idx.RegionOf(int32(i))
-		e.metrics.IdleRecords = append(e.metrics.IdleRecords, IdleRecord{
-			Driver:   DriverID(i),
-			Region:   region,
-			RejoinAt: 0,
-			Estimate: math.NaN(),
-			Realized: math.NaN(),
-		})
-		e.openIdle[DriverID(i)] = len(e.metrics.IdleRecords) - 1
-	}
-
 	wallStart := time.Now()
 	for now := 0.0; now < e.cfg.Horizon; now += e.cfg.Delta {
 		if err := ctx.Err(); err != nil {
@@ -279,47 +270,181 @@ func (e *Engine) Run(ctx context.Context, d Dispatcher) (*Metrics, error) {
 			// ~20ms preemptions.
 			runtime.Gosched()
 		}
-		e.admitOrders(now)
-		e.rejoinDrivers(now)
-		e.processShifts(now)
-		e.renegeExpired(now)
-		if e.cfg.StopWhenDrained && e.srcDone && len(e.waiting) == 0 && len(e.busy) == 0 {
+		e.StepAdmit(now)
+		if e.cfg.StopWhenDrained && e.Drained() {
 			break
 		}
-
-		bctx := e.buildContext(now)
-		if e.cfg.Observer != nil {
-			e.cfg.Observer.OnBatchStart(BatchStartEvent{
-				Now:       now,
-				Batch:     e.metrics.Batches,
-				Waiting:   len(bctx.Riders),
-				Available: len(bctx.Drivers),
-			})
-		}
-		// Capture idle estimates for drivers that rejoined since the
-		// last batch (their ledger entries are still estimate-free).
-		if estimator != nil {
-			for id, rec := range e.openIdle {
-				if math.IsNaN(e.metrics.IdleRecords[rec].Estimate) {
-					region, _ := e.idx.RegionOf(int32(id))
-					e.metrics.IdleRecords[rec].Estimate = estimator.EstimateIdle(bctx, region)
-				}
-			}
-		}
-
-		start := time.Now()
-		assignments := d.Assign(bctx)
-		e.metrics.BatchSeconds = append(e.metrics.BatchSeconds, time.Since(start).Seconds())
-		e.metrics.Batches++
-
-		if err := e.apply(now, bctx, assignments); err != nil {
+		if err := e.StepDispatch(now, d); err != nil {
 			return nil, err
 		}
-		e.reposition(now, bctx)
 	}
-	// Censor ledger entries that never closed.
+	return e.Finish(), nil
+}
+
+// Begin arms the engine for stepping: it claims the single run and seeds
+// the idle ledger with the starting fleet. Run calls it implicitly;
+// lockstep coordinators call it once before the first StepAdmit.
+func (e *Engine) Begin() error {
+	if e.ran {
+		return errors.New("sim: engine already ran; build a new one")
+	}
+	e.ran = true
+
+	// The starting fleet's idle-before-first-rider (the paper's psi_0j)
+	// is part of the ledger too.
+	for i := range e.drivers {
+		if e.drivers[i].State != Available {
+			continue
+		}
+		region, _ := e.idx.RegionOf(int32(i))
+		e.metrics.IdleRecords = append(e.metrics.IdleRecords, IdleRecord{
+			Driver:   DriverID(i),
+			Region:   region,
+			RejoinAt: 0,
+			Estimate: math.NaN(),
+			Realized: math.NaN(),
+		})
+		e.openIdle[DriverID(i)] = len(e.metrics.IdleRecords) - 1
+	}
+	return nil
+}
+
+// StepAdmit runs the pre-dispatch phase of the batch at time now: order
+// admission from the source, trip completions, shift changes and rider
+// reneging (which fires OnExpired). It must be preceded by Begin and
+// followed — on the same engine goroutine — by StepDispatch for the
+// same now, unless the run is ending.
+func (e *Engine) StepAdmit(now float64) {
+	e.admitOrders(now)
+	e.rejoinDrivers(now)
+	e.processShifts(now)
+	e.renegeExpired(now)
+}
+
+// StepDispatch runs the dispatch phase of the batch at time now: batch
+// context construction, the OnBatchStart hook, idle-estimate capture,
+// the dispatcher's assignment and its commitment, and repositioning.
+func (e *Engine) StepDispatch(now float64, d Dispatcher) error {
+	bctx := e.buildContext(now)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnBatchStart(BatchStartEvent{
+			Now:       now,
+			Batch:     e.metrics.Batches,
+			Waiting:   len(bctx.Riders),
+			Available: len(bctx.Drivers),
+		})
+	}
+	// Capture idle estimates for drivers that rejoined since the
+	// last batch (their ledger entries are still estimate-free).
+	if estimator, ok := d.(IdleEstimating); ok {
+		for id, rec := range e.openIdle {
+			if math.IsNaN(e.metrics.IdleRecords[rec].Estimate) {
+				region, _ := e.idx.RegionOf(int32(id))
+				e.metrics.IdleRecords[rec].Estimate = estimator.EstimateIdle(bctx, region)
+			}
+		}
+	}
+
+	start := time.Now()
+	assignments := d.Assign(bctx)
+	e.metrics.BatchSeconds = append(e.metrics.BatchSeconds, time.Since(start).Seconds())
+	e.metrics.Batches++
+
+	if err := e.apply(now, bctx, assignments); err != nil {
+		return err
+	}
+	e.reposition(now, bctx)
+	return nil
+}
+
+// Drained reports whether the run has nothing left to do: the source is
+// exhausted, no rider waits and no driver is busy. It is meaningful
+// after a StepAdmit.
+func (e *Engine) Drained() bool {
+	return e.srcDone && len(e.waiting) == 0 && len(e.busy) == 0
+}
+
+// Finish censors ledger entries that never closed and returns the
+// collected metrics. The engine must not be stepped afterwards.
+func (e *Engine) Finish() *Metrics {
 	e.closeLedger()
-	return &e.metrics, nil
+	return &e.metrics
+}
+
+// Counts reports the current waiting-rider and available-driver counts —
+// what the next batch's BatchStartEvent would carry. Lockstep
+// coordinators read it between steps to synthesize one city-wide batch
+// event across shards.
+func (e *Engine) Counts() (waiting, available int) {
+	return len(e.waiting), e.idx.Len()
+}
+
+// AvailableWithin counts available drivers within radiusMeters of p — a
+// supply probe for cross-shard routing decisions. It must not be called
+// concurrently with stepping.
+func (e *Engine) AvailableWithin(p geo.Point, radiusMeters float64) int {
+	return e.idx.CountWithin(p, radiusMeters)
+}
+
+// EachAvailable visits every available driver in ascending id order —
+// the deterministic enumeration a sharded runtime's fleet re-homing
+// scans between rounds. It must not be called concurrently with
+// stepping.
+func (e *Engine) EachAvailable(f func(id DriverID, pos geo.Point)) {
+	for i := range e.drivers {
+		if e.drivers[i].State == Available {
+			f(DriverID(i), e.drivers[i].Pos)
+		}
+	}
+}
+
+// RemoveDriver withdraws an available driver from this engine — the
+// donor half of cross-engine fleet re-homing. The driver's slot stays
+// allocated but permanently inert (Departed), its open idle-ledger
+// entry is censored like a shift departure, and its position, idle
+// anchor and shift are returned so the receiving engine can re-create
+// it faithfully. Only available drivers can be withdrawn.
+func (e *Engine) RemoveDriver(id DriverID) (pos geo.Point, freeAt float64, shift Shift, ok bool) {
+	if int(id) >= len(e.drivers) || e.drivers[id].State != Available {
+		return geo.Point{}, 0, Shift{}, false
+	}
+	d := &e.drivers[id]
+	pos, freeAt = d.Pos, d.FreeAt
+	if e.shifts != nil {
+		shift = e.shifts[id]
+	}
+	d.State = Departed
+	e.idx.Remove(int32(id))
+	delete(e.openIdle, id) // censored idle entry, like a shift leave
+	return pos, freeAt, shift, true
+}
+
+// AddDriver admits a driver handed off by another engine: it joins
+// available at p with its idle anchor (freeAt, the time it last became
+// available) preserved, opening a fresh idle-ledger entry, and keeps
+// its shift bounds. The new local id is returned; the caller maintains
+// any mapping to a global fleet numbering.
+func (e *Engine) AddDriver(p geo.Point, freeAt float64, shift Shift) DriverID {
+	id := DriverID(len(e.drivers))
+	p = e.cfg.Grid.Bounds().Clamp(p)
+	e.drivers = append(e.drivers, Driver{ID: id, State: Available, Pos: p, FreeAt: freeAt})
+	if e.shifts == nil && shift != (Shift{}) {
+		e.shifts = make([]Shift, len(e.drivers)-1)
+	}
+	if e.shifts != nil {
+		e.shifts = append(e.shifts, shift)
+	}
+	e.idx.Insert(int32(id), p)
+	region, _ := e.idx.RegionOf(int32(id))
+	e.metrics.IdleRecords = append(e.metrics.IdleRecords, IdleRecord{
+		Driver:   id,
+		Region:   region,
+		RejoinAt: freeAt,
+		Estimate: math.NaN(),
+		Realized: math.NaN(),
+	})
+	e.openIdle[id] = len(e.metrics.IdleRecords) - 1
+	return id
 }
 
 // admitOrders pulls newly posted orders from the source into the waiting

@@ -12,12 +12,15 @@ type DriverID int32
 type DriverState uint8
 
 // Driver states: available (free to assign), busy (picking up or
-// delivering a rider, or cruising to a reposition target), or offline
-// (outside the driver's shift).
+// delivering a rider, or cruising to a reposition target), offline
+// (outside the driver's shift), or departed (handed off to another
+// engine by a sharded runtime's fleet re-homing; the local slot stays
+// inert forever).
 const (
 	Available DriverState = iota
 	Busy
 	Offline
+	Departed
 )
 
 // Shift bounds a driver's working period — the paper's driver lifetime

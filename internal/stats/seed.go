@@ -1,0 +1,19 @@
+package stats
+
+// SplitSeed forks a parent seed into the stream-th derived seed — the
+// deterministic way sharded runs hand each shard (or any other parallel
+// component) its own independent RNG stream. Two properties matter:
+// reproducibility (the same parent and stream always yield the same
+// seed, so a sharded run replays bit-for-bit) and decorrelation (nearby
+// parents or streams land far apart, so per-shard stochastic dispatchers
+// don't accidentally mirror each other's draws).
+//
+// The mix is SplitMix64's finalizer over the parent advanced by
+// stream+1 Weyl increments — the same construction Java's SplittableRandom
+// and JAX's key-splitting use for statistically independent substreams.
+func SplitSeed(parent int64, stream int) int64 {
+	z := uint64(parent) + (uint64(stream)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

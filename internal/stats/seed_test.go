@@ -1,0 +1,51 @@
+package stats
+
+import "testing"
+
+func TestSplitSeedDeterministic(t *testing.T) {
+	for _, parent := range []int64{0, 1, -1, 42, 1 << 40} {
+		for stream := 0; stream < 16; stream++ {
+			a := SplitSeed(parent, stream)
+			b := SplitSeed(parent, stream)
+			if a != b {
+				t.Fatalf("SplitSeed(%d, %d) not deterministic: %d vs %d", parent, stream, a, b)
+			}
+		}
+	}
+}
+
+func TestSplitSeedDistinctStreams(t *testing.T) {
+	const streams = 1024
+	seen := make(map[int64]int, streams)
+	for s := 0; s < streams; s++ {
+		v := SplitSeed(7, s)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d collide on seed %d", prev, s, v)
+		}
+		seen[v] = s
+	}
+}
+
+func TestSplitSeedParentSensitivity(t *testing.T) {
+	// Adjacent parents must not produce overlapping early streams.
+	seen := make(map[int64]bool)
+	for parent := int64(0); parent < 64; parent++ {
+		for s := 0; s < 8; s++ {
+			v := SplitSeed(parent, s)
+			if seen[v] {
+				t.Fatalf("seed %d repeats across (parent, stream) grid", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSplitSeedDiffersFromParent(t *testing.T) {
+	// Stream 0 must not be the identity: a shard must never share its
+	// parent's stream by accident.
+	for _, parent := range []int64{0, 1, 12345} {
+		if SplitSeed(parent, 0) == parent {
+			t.Fatalf("SplitSeed(%d, 0) equals the parent seed", parent)
+		}
+	}
+}

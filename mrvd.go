@@ -24,6 +24,12 @@
 // serve session in the background and returns a ServeHandle whose
 // Submit routes each order's terminal Outcome back to the caller — the
 // seam the HTTP gateway (internal/server, cmd/mrvd-serve) builds on.
+// WithShards(n) scales the runtime out: the city's regions partition
+// across n lockstep dispatch engines (internal/shard) with a router
+// admitting each order to the shard owning its pickup region, a
+// configurable frontier policy (WithBoundaryPolicy), and per-shard
+// stats on the gateway's /v1/stats; WithShards(1) is contractually
+// identical to the unsharded engine.
 //
 // See examples/ for runnable scenarios (examples/livedispatch streams
 // orders into a running engine, examples/httpserve drives the HTTP
@@ -38,6 +44,7 @@ import (
 	"mrvd/internal/predict"
 	"mrvd/internal/queueing"
 	"mrvd/internal/roadnet"
+	"mrvd/internal/shard"
 	"mrvd/internal/sim"
 	"mrvd/internal/trace"
 	"mrvd/internal/workload"
@@ -124,6 +131,26 @@ type (
 	AssignedEvent     = sim.AssignedEvent
 	ExpiredEvent      = sim.ExpiredEvent
 	RepositionedEvent = sim.RepositionedEvent
+)
+
+// Sharded runtime types (see WithShards).
+type (
+	// BoundaryPolicy decides where orders whose patience radius crosses
+	// a shard frontier are admitted (see WithBoundaryPolicy).
+	BoundaryPolicy = shard.BoundaryPolicy
+	// ShardStats is one shard's live counter snapshot, served per shard
+	// by the HTTP gateway's /v1/stats.
+	ShardStats = shard.Stats
+)
+
+// Boundary policies for sharded runs.
+const (
+	// StrictOwnership always admits an order to the shard owning its
+	// pickup region.
+	StrictOwnership = shard.StrictOwnership
+	// CandidateBorrow admits a frontier order to a neighbouring shard
+	// with available supply in reach when the owner shard has none.
+	CandidateBorrow = shard.CandidateBorrow
 )
 
 // Framework types.
@@ -220,6 +247,16 @@ func DefaultCoster() Coster { return roadnet.NewDefaultCoster() }
 func GraphCoster(seed int64) Coster {
 	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: seed})
 	return roadnet.NewGraphCoster(g)
+}
+
+// GraphCosters returns a per-shard coster factory over one shared
+// synthetic road network: every shard prices travel on the same graph
+// (so costs agree across shards) through its own coster instance (so
+// snap indexes and tree caches don't contend, and /v1/stats reports
+// per-shard cache counters). Pass it to WithShardCosters.
+func GraphCosters(seed int64) func(shard int) Coster {
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: seed})
+	return func(int) Coster { return roadnet.NewGraphCoster(g) }
 }
 
 // WriteOrdersCSV and ReadOrdersCSV expose the trace format so real data

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"mrvd/internal/core"
+	"mrvd/internal/shard"
 	"mrvd/internal/sim"
 )
 
@@ -178,6 +179,78 @@ func WithPace(factor float64) Option {
 	}
 }
 
+// WithCandidateCap prices only the k nearest feasible drivers per
+// rider instead of every driver in the rider's patience radius — the
+// pre-filter that bounds per-order matching work for very large
+// fleets (see SimConfig.CandidateCap). The exact radius search stays
+// the default; a cap can occasionally miss a feasible far driver when
+// nearer ones are deadline-infeasible.
+func WithCandidateCap(k int) Option {
+	return func(s *Service) {
+		if k < 0 {
+			s.failf("WithCandidateCap: cap must be >= 0, got %d", k)
+			return
+		}
+		s.opts.CandidateCap = k
+	}
+}
+
+// WithShards partitions the city across n independent dispatch engines
+// stepped in lockstep on parallel goroutines: each shard owns a
+// disjoint, contiguous set of grid regions and the slice of the fleet
+// that starts there, a router admits every order to the shard owning
+// its pickup region, and events plus metrics aggregate back into one
+// coherent city-wide stream. WithShards(1) is contractually identical
+// to the unsharded engine; omitting the option keeps the single-engine
+// runtime. Shared per-run hooks (Coster, PredictRiders, Repositioner,
+// Observer-reachable state) must be safe for concurrent use — the
+// built-ins are — and the Observer sees a serialized stream with
+// driver ids in the global fleet numbering.
+func WithShards(n int) Option {
+	return func(s *Service) {
+		if n < 1 {
+			s.failf("WithShards: shard count must be >= 1, got %d", n)
+			return
+		}
+		s.opts.Shards = n
+	}
+}
+
+// WithBoundaryPolicy selects what happens to riders whose patience
+// radius crosses a shard frontier in a sharded run: StrictOwnership
+// (the default) always admits an order to the shard owning its pickup
+// region; CandidateBorrow lets a frontier order be admitted by a
+// neighbouring shard with available drivers in reach when the owner
+// has none. No effect without WithShards.
+func WithBoundaryPolicy(p BoundaryPolicy) Option {
+	return func(s *Service) {
+		switch p {
+		case StrictOwnership:
+			s.opts.Borrow = false
+		case CandidateBorrow:
+			s.opts.Borrow = true
+		default:
+			s.failf("WithBoundaryPolicy: unknown policy %d", p)
+		}
+	}
+}
+
+// WithShardCosters gives each shard of a sharded run its own coster
+// instance — e.g. one road-network coster per shard, so their tree
+// caches don't contend and /v1/stats can report per-shard cache
+// counters (see GraphCosters). Every instance must price identically
+// or shards would disagree about travel times. No effect without
+// WithShards.
+func WithShardCosters(f func(shard int) Coster) Option {
+	return func(s *Service) {
+		if f == nil {
+			s.failf("WithShardCosters: nil factory (omit the option instead)")
+			return
+		}
+		s.opts.ShardCosters = f
+	}
+}
+
 // WithObserver subscribes an event observer to every run: batch starts,
 // assignments, expiries and repositions stream out as they happen
 // instead of being scraped from Metrics afterwards. Compose several with
@@ -269,10 +342,18 @@ func (s *Service) newRunner(seed int64) *Runner {
 
 // Run simulates one full trace — generated from the city, or the
 // WithOrders replay — under the named algorithm and returns its metrics.
-// The context cancels the run between batches.
+// The context cancels the run between batches. With WithShards the
+// trace runs on the partitioned multi-engine runtime and the returned
+// metrics aggregate every shard.
 func (s *Service) Run(ctx context.Context, algorithm string) (*Metrics, error) {
 	if err := s.Err(); err != nil {
 		return nil, err
+	}
+	if s.opts.Shards > 0 {
+		if _, err := core.NewDispatcher(algorithm, s.opts.Seed); err != nil {
+			return nil, err
+		}
+		return s.newRunner(s.opts.Seed).RunSharded(ctx, algorithm, s.mode, s.model)
 	}
 	d, err := core.NewDispatcher(algorithm, s.opts.Seed)
 	if err != nil {
@@ -298,20 +379,32 @@ func (s *Service) Serve(ctx context.Context, algorithm string, src OrderSource, 
 	if src == nil {
 		return nil, fmt.Errorf("mrvd: Serve requires an OrderSource")
 	}
+	if s.opts.Shards > 0 {
+		if _, err := core.NewDispatcher(algorithm, s.opts.Seed); err != nil {
+			return nil, err
+		}
+		rt, err := s.serveRunner(starts).ShardSession(src, starts, s.mode, s.model)
+		if err != nil {
+			return nil, err
+		}
+		return rt.Run(ctx, core.ShardDispatchers(algorithm, s.opts.Seed, s.opts.Shards))
+	}
 	d, err := core.NewDispatcher(algorithm, s.opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var r *Runner
+	return s.serveRunner(starts).RunSource(ctx, d, s.mode, s.model, src, starts)
+}
+
+// serveRunner materializes the instance a live serve session runs on.
+func (s *Service) serveRunner(starts []Point) *Runner {
 	if starts != nil && s.orders == nil {
 		// With an explicit fleet there is no reason to materialize a
 		// synthetic day trace the streaming run would never read.
-		r = core.NewRunnerWithOrders(s.opts, nil, starts)
-	} else {
-		// A nil starts falls through to the runner's own sampled fleet.
-		r = s.newRunner(s.opts.Seed)
+		return core.NewRunnerWithOrders(s.opts, nil, starts)
 	}
-	return r.RunSource(ctx, d, s.mode, s.model, src, starts)
+	// A nil starts falls through to the runner's own sampled fleet.
+	return s.newRunner(s.opts.Seed)
 }
 
 // SweepSpec re-exports the grid description of core.Sweep.
@@ -420,6 +513,10 @@ type ServeHandle struct {
 	limit   int
 	waiters map[OrderID]chan Outcome
 
+	// shardStats reads the live per-shard counters of a sharded
+	// session; nil for unsharded sessions.
+	shardStats func() []shard.Stats
+
 	// Written once by the serve goroutine before done closes.
 	metrics *Metrics
 	err     error
@@ -465,6 +562,23 @@ func (s *Service) Start(ctx context.Context, algorithm string, starts []Point, o
 	}
 	run := *s
 	run.opts.Observer = obs
+	if run.opts.Shards > 0 {
+		// Build the sharded session synchronously so the handle can
+		// expose per-shard stats while it runs; only the lockstep loop
+		// itself goes to the background goroutine.
+		rt, err := run.serveRunner(starts).ShardSession(h.src, starts, run.mode, run.model)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		h.shardStats = rt.Stats
+		go func() {
+			m, err := rt.Run(ctx, core.ShardDispatchers(algorithm, run.opts.Seed, run.opts.Shards))
+			h.finish(m, err)
+			cancel()
+		}()
+		return h, nil
+	}
 	go func() {
 		m, err := run.Serve(ctx, algorithm, h.src, starts)
 		h.finish(m, err)
@@ -599,6 +713,17 @@ func (h *ServeHandle) SetInFlightLimit(n int) {
 // Pending reports how many submitted orders the source has not yet
 // released into the engine.
 func (h *ServeHandle) Pending() int { return h.src.Pending() }
+
+// ShardStats returns the live per-shard counters of a sharded session
+// (one entry per shard: territory, fleet slice, queue depths, batch
+// timings, borrow counts), or nil when the session runs unsharded.
+// Safe for concurrent use while the session runs.
+func (h *ServeHandle) ShardStats() []ShardStats {
+	if h.shardStats == nil {
+		return nil
+	}
+	return h.shardStats()
+}
 
 // Close marks the order stream complete: already-submitted orders are
 // still dispatched, further Submit calls fail, and the session ends
