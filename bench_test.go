@@ -351,6 +351,72 @@ func BenchmarkShardedDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioDispatch measures the disruption layer's cost: one
+// peak hour of a 28K-order day at 200 drivers, dispatched with the
+// scenario off (zero ScenarioConfig) and on (cancellations + declines
+// + travel noise). The Off case asserts the zero-overhead contract
+// behaviorally — its Summary must be byte-identical to a run built
+// without any scenario plumbing at all — and the committed
+// BENCH_scenario.json baseline tracks the On/Off timing ratio (~1x:
+// the disruption layer is a nil check on the scenario-free path and a
+// few RNG draws per order on the enabled one).
+func BenchmarkScenarioDispatch(b *testing.B) {
+	city := workload.NewCity(workload.CityConfig{OrdersPerDay: 28000, Seed: 31})
+	rng := rand.New(rand.NewSource(9))
+	day := city.GenerateDay(0, rng)
+	const peakStart, horizon = 25200.0, 3600.0
+	var orders []trace.Order
+	for _, o := range day {
+		if o.PostTime >= peakStart && o.PostTime < peakStart+horizon {
+			o.PostTime -= peakStart
+			o.Deadline -= peakStart
+			orders = append(orders, o)
+		}
+	}
+	starts := city.InitialDrivers(200, day, rng)
+	admitted := len(orders)
+
+	run := func(b *testing.B, scenario sim.ScenarioConfig) sim.Summary {
+		cfg := sim.Config{
+			Grid: city.Grid(), Delta: 20, TC: 1200, Horizon: horizon,
+			CandidateCap: 16, Scenario: scenario,
+		}
+		m, err := sim.New(cfg, orders, starts).Run(context.Background(), &dispatch.IRG{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m.Summary()
+	}
+
+	// The reference run the Off case must reproduce byte-for-byte.
+	baseline := run(b, sim.ScenarioConfig{})
+
+	b.Run("Off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got := run(b, sim.ScenarioConfig{Seed: 42}) // zero knobs, seed set
+			if got != baseline {
+				b.Fatalf("scenario-off run diverged from the scenario-free engine:\n  off:  %+v\n  base: %+v",
+					got, baseline)
+			}
+		}
+		b.ReportMetric(float64(admitted)*float64(b.N)/b.Elapsed().Seconds(), "orders/sec")
+	})
+	b.Run("On", func(b *testing.B) {
+		b.ReportAllocs()
+		var got sim.Summary
+		for i := 0; i < b.N; i++ {
+			got = run(b, sim.ScenarioConfig{
+				CancelRate: 0.1, DeclineProb: 0.05, TravelNoise: 0.2, Seed: 42,
+			})
+		}
+		if got.Canceled == 0 || got.Declines == 0 || got.TravelSamples == 0 {
+			b.Fatalf("scenario inactive under load: %+v", got)
+		}
+		b.ReportMetric(float64(admitted)*float64(b.N)/b.Elapsed().Seconds(), "orders/sec")
+	})
+}
+
 // BenchmarkDispatchCycle runs one hour of full engine batch cycles —
 // order admission, candidate pruning, batched pickup costing, IRG
 // assignment, commitment — over a 28K-order day at 200 drivers, under

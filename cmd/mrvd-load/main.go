@@ -9,6 +9,12 @@
 //	mrvd-load [-url http://127.0.0.1:8080] [-n 200] [-c 8] [-rate 0]
 //	          [-patience 600] [-orders-per-day 2000] [-seed 1]
 //	          [-timeout 120s] [-json report.json]
+//	          [-cancel 0] [-cancel-after 50ms]
+//
+// -cancel selects that fraction of orders for a rider-cancellation mix:
+// each is submitted without waiting, DELETEd after -cancel-after, and
+// polled to its terminal state; assignments that beat the DELETE still
+// count as assigned.
 //
 // -rate 0 is closed-loop (each client submits as soon as its previous
 // order resolves); a positive -rate is the aggregate Poisson arrival
@@ -43,6 +49,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		timeout  = flag.Duration("timeout", 120*time.Second, "per-order wait bound")
 		jsonPath = flag.String("json", "", "also write the full report as JSON to this file")
+
+		cancelFrac  = flag.Float64("cancel", 0, "fraction of orders to cancel via DELETE /v1/orders/{id}")
+		cancelAfter = flag.Duration("cancel-after", 50*time.Millisecond, "delay before a cancel-marked order's DELETE")
 	)
 	flag.Parse()
 
@@ -50,14 +59,16 @@ func main() {
 	defer stop()
 
 	rep, err := load.Run(ctx, load.Config{
-		BaseURL:     *url,
-		Orders:      *n,
-		Concurrency: *c,
-		Rate:        *rate,
-		Patience:    *patience,
-		City:        mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: *perDay, Seed: 17}),
-		Seed:        *seed,
-		Timeout:     *timeout,
+		BaseURL:        *url,
+		Orders:         *n,
+		Concurrency:    *c,
+		Rate:           *rate,
+		Patience:       *patience,
+		City:           mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: *perDay, Seed: 17}),
+		Seed:           *seed,
+		Timeout:        *timeout,
+		CancelFraction: *cancelFrac,
+		CancelAfter:    *cancelAfter,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrvd-load: %v\n", err)
@@ -67,6 +78,7 @@ func main() {
 	fmt.Printf("orders:      %d in %.2fs (%.1f/s)\n", rep.Orders, rep.ElapsedSeconds, rep.Throughput)
 	fmt.Printf("assigned:    %d\n", rep.Assigned)
 	fmt.Printf("expired:     %d\n", rep.Expired)
+	fmt.Printf("canceled:    %d (rider-initiated DELETE mix)\n", rep.Canceled)
 	fmt.Printf("pending:     %d (wait timed out)\n", rep.Pending)
 	fmt.Printf("rejected:    %d (429 backpressure)\n", rep.Rejected)
 	fmt.Printf("errors:      %d\n", rep.Errors)
@@ -108,7 +120,7 @@ func printShardStats(baseURL string) {
 	}
 	fmt.Printf("shards:      %d\n", len(stats.Shards))
 	for _, s := range stats.Shards {
-		fmt.Printf("  shard %d: regions=%d drivers=%d admitted=%d borrowed=%d served=%d reneged=%d batch(avg=%.2fms max=%.2fms)\n",
-			s.Shard, s.Regions, s.Drivers, s.Admitted, s.BorrowedIn, s.Served, s.Reneged, s.AvgBatchMS, s.MaxBatchMS)
+		fmt.Printf("  shard %d: regions=%d drivers=%d admitted=%d borrowed=%d served=%d reneged=%d canceled=%d declined=%d batch(avg=%.2fms max=%.2fms)\n",
+			s.Shard, s.Regions, s.Drivers, s.Admitted, s.BorrowedIn, s.Served, s.Reneged, s.Canceled, s.Declined, s.AvgBatchMS, s.MaxBatchMS)
 	}
 }

@@ -10,6 +10,15 @@
 //	mrvd-serve [-addr :8080] [-alg LS] [-drivers 100] [-orders 28000]
 //	           [-delta 3] [-pace 1] [-horizon 86400] [-max-pending 1024]
 //	           [-patience 300] [-road] [-seed 1] [-shards 0] [-borrow]
+//	           [-cancel-rate 0] [-decline-prob 0] [-decline-cooldown 0]
+//	           [-travel-noise 0] [-scenario-seed 0]
+//
+// The scenario flags enable the disruption layer: -cancel-rate makes
+// waiting riders abandon stochastically (riders can always cancel
+// explicitly with DELETE /v1/orders/{id}), -decline-prob makes drivers
+// decline committed assignments and cool down, -travel-noise perturbs
+// realized travel times around the planner's estimates. All off by
+// default.
 //
 // -shards N serves the session on the partitioned multi-engine runtime
 // (N lockstep engines, each owning a contiguous band of the city and
@@ -53,6 +62,12 @@ func main() {
 		seed       = flag.Int64("seed", 1, "instance seed")
 		shards     = flag.Int("shards", 0, "partitioned engines (0 = single unsharded engine)")
 		borrow     = flag.Bool("borrow", false, "candidate-borrow frontier policy for sharded sessions")
+
+		cancelRate   = flag.Float64("cancel-rate", 0, "scenario: probability a waiting rider abandons before its deadline")
+		declineProb  = flag.Float64("decline-prob", 0, "scenario: probability a driver declines a committed assignment")
+		declineCD    = flag.Float64("decline-cooldown", 0, "scenario: declining driver's cooldown in engine seconds (0 = default 60)")
+		travelNoise  = flag.Float64("travel-noise", 0, "scenario: relative stddev of realized travel times around the estimate")
+		scenarioSeed = flag.Int64("scenario-seed", 0, "scenario: RNG seed for cancels/declines/noise")
 	)
 	flag.Parse()
 
@@ -69,6 +84,16 @@ func main() {
 	}
 	if *pace > 0 {
 		opts = append(opts, mrvd.WithPace(*pace))
+	}
+	scenario := mrvd.ScenarioConfig{
+		CancelRate:      *cancelRate,
+		DeclineProb:     *declineProb,
+		DeclineCooldown: *declineCD,
+		TravelNoise:     *travelNoise,
+		Seed:            *scenarioSeed,
+	}
+	if scenario.Enabled() {
+		opts = append(opts, mrvd.WithScenario(scenario))
 	}
 	if *shards > 0 {
 		opts = append(opts, mrvd.WithShards(*shards))
@@ -124,7 +149,12 @@ func main() {
 	}
 	fmt.Printf("mrvd-serve: %s dispatch on %s (fleet %d, delta %.1fs, pace %.1fx, max-pending %d, %s)\n",
 		*alg, *addr, *drivers, *delta, *pace, *maxPending, runtime)
+	if scenario.Enabled() {
+		fmt.Printf("  disruptions: cancel-rate %.2f, decline-prob %.2f, travel-noise %.2f (seed %d)\n",
+			scenario.CancelRate, scenario.DeclineProb, scenario.TravelNoise, scenario.Seed)
+	}
 	fmt.Printf("  POST %s/v1/orders  {\"pickup\":{\"lng\":..,\"lat\":..},\"dropoff\":{..}}  (?wait=true to long-poll)\n", *addr)
+	fmt.Printf("  DELETE %s/v1/orders/{id}  (rider-initiated cancel)\n", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -136,8 +166,8 @@ func main() {
 	case err != nil:
 		fatal(err)
 	default:
-		fmt.Printf("mrvd-serve: session over: %d submitted, %d served, %d expired, revenue %.0f\n",
-			m.TotalOrders, m.Served, m.Reneged, m.Revenue)
+		fmt.Printf("mrvd-serve: session over: %d submitted, %d served, %d expired, %d canceled, %d declines, revenue %.0f\n",
+			m.TotalOrders, m.Served, m.Reneged, m.Canceled, m.Declines, m.Revenue)
 	}
 }
 

@@ -7,6 +7,12 @@
 //	mrvd-sim [-orders 70000] [-drivers 250] [-tau 120] [-delta 3]
 //	         [-tc 1200] [-algs IRG,LS,NEAR] [-pred oracle|stnet|none]
 //	         [-trace file.csv] [-seed 1]
+//	         [-cancel-rate 0] [-decline-prob 0] [-decline-cooldown 0]
+//	         [-travel-noise 0] [-scenario-seed 0]
+//
+// The scenario flags run the day under disruptions: stochastic rider
+// cancellations, driver declines with cooldown, and noisy realized
+// travel times (all off by default; see mrvd.WithScenario).
 //
 // With -trace, orders are read from a CSV in the library's trace format
 // (e.g., a converted TLC extract) instead of the synthetic city.
@@ -35,6 +41,12 @@ func main() {
 		pred      = flag.String("pred", "oracle", "demand forecasts: oracle, stnet, ha, lr, gbrt, none")
 		traceFile = flag.String("trace", "", "replay this trace CSV instead of generating orders")
 		seed      = flag.Int64("seed", 1, "instance seed")
+
+		cancelRate   = flag.Float64("cancel-rate", 0, "scenario: probability a waiting rider abandons before its deadline")
+		declineProb  = flag.Float64("decline-prob", 0, "scenario: probability a driver declines a committed assignment")
+		declineCD    = flag.Float64("decline-cooldown", 0, "scenario: declining driver's cooldown in engine seconds (0 = default 60)")
+		travelNoise  = flag.Float64("travel-noise", 0, "scenario: relative stddev of realized travel times around the estimate")
+		scenarioSeed = flag.Int64("scenario-seed", 0, "scenario: RNG seed for cancels/declines/noise")
 	)
 	flag.Parse()
 
@@ -74,6 +86,16 @@ func main() {
 		mrvd.WithSchedulingWindow(*tc),
 		mrvd.WithSeed(*seed),
 	}
+	scenario := mrvd.ScenarioConfig{
+		CancelRate:      *cancelRate,
+		DeclineProb:     *declineProb,
+		DeclineCooldown: *declineCD,
+		TravelNoise:     *travelNoise,
+		Seed:            *scenarioSeed,
+	}
+	if scenario.Enabled() {
+		svcOpts = append(svcOpts, mrvd.WithScenario(scenario))
+	}
 	if *traceFile != "" {
 		// Replay the external trace: orders come from the file; drivers
 		// start at sampled pickups.
@@ -96,8 +118,8 @@ func main() {
 	// History and trained predictors are built by the first algorithm's
 	// runner and shared with the rest.
 	var base *mrvd.Runner
-	fmt.Printf("%-6s %14s %8s %8s %10s %12s %10s\n",
-		"alg", "revenue", "served", "reneged", "meanIdle", "pickupSec", "avgBatch")
+	fmt.Printf("%-6s %14s %8s %8s %9s %9s %10s %12s %10s\n",
+		"alg", "revenue", "served", "reneged", "canceled", "declines", "meanIdle", "pickupSec", "avgBatch")
 	for _, alg := range strings.Split(*algsFlag, ",") {
 		alg = strings.TrimSpace(alg)
 		runner := svc.Runner()
@@ -114,8 +136,13 @@ func main() {
 		}
 		base = runner
 		s := m.Summary()
-		fmt.Printf("%-6s %14.0f %8d %8d %9.1fs %12.0f %9.4fs\n",
-			alg, s.Revenue, s.Served, s.Reneged, s.MeanIdleSeconds(), s.PickupSeconds, m.AvgBatchSeconds())
+		fmt.Printf("%-6s %14.0f %8d %8d %9d %9d %9.1fs %12.0f %9.4fs\n",
+			alg, s.Revenue, s.Served, s.Reneged, s.Canceled, s.Declines,
+			s.MeanIdleSeconds(), s.PickupSeconds, m.AvgBatchSeconds())
+		if s.TravelSamples > 0 {
+			fmt.Printf("       travel noise: %d trips, mean |est-real| %.1fs\n",
+				s.TravelSamples, s.MeanAbsTravelErrorSeconds())
+		}
 	}
 }
 

@@ -76,6 +76,11 @@ type Options struct {
 	// pre-filter that bounds per-order matching work for very large
 	// fleets. 0 keeps the exact radius search.
 	CandidateCap int
+	// Scenario configures the disruption layer (rider cancellations,
+	// driver declines, travel-time noise); the zero value keeps the
+	// engine byte-identical to a scenario-free run. See
+	// sim.ScenarioConfig.
+	Scenario sim.ScenarioConfig
 	// Shards, when >= 1, runs on the partitioned multi-engine runtime
 	// (internal/shard): the grid's regions are split across Shards
 	// lockstep engines, each owning the fleet slice starting in its
@@ -340,6 +345,7 @@ func (r *Runner) simConfig(fn func(now, tc float64) []int) sim.Config {
 		TC:              r.opts.TC,
 		Horizon:         r.opts.Horizon,
 		CandidateCap:    r.opts.CandidateCap,
+		Scenario:        r.opts.Scenario,
 		PredictRiders:   fn,
 		Repositioner:    r.opts.Repositioner,
 		RepositionAfter: r.opts.RepositionAfter,

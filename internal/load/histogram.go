@@ -1,6 +1,7 @@
 package load
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -50,8 +51,15 @@ func (h *Histogram) Summary() LatencySummary {
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	// Nearest-rank quantiles: the p-quantile is the ceil(p*n)-th
+	// smallest sample. Flooring an interpolated index here would bias
+	// p95/p99 low whenever p*(n-1) is fractional — at n=10 the old
+	// int(p*(n-1)) indexing reported the 9th sample as p95.
 	q := func(p float64) float64 {
-		i := int(p * float64(len(samples)-1))
+		i := int(math.Ceil(p*float64(len(samples)))) - 1
+		if i < 0 {
+			i = 0
+		}
 		return ms(samples[i])
 	}
 	return LatencySummary{

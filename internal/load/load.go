@@ -35,6 +35,16 @@ type Config struct {
 	// Patience is the pickup patience stamped on each order, in engine
 	// seconds (default 600).
 	Patience float64
+	// CancelFraction selects this share of submissions for a
+	// rider-initiated cancellation mix: each selected order is submitted
+	// without waiting, DELETEd after CancelAfter, and then polled to its
+	// terminal state — exercising the gateway's DELETE /v1/orders/{id}
+	// path under load. 0 disables the mix.
+	CancelFraction float64
+	// CancelAfter is the wall-clock delay between submitting a
+	// cancel-marked order and issuing its DELETE (default 50ms). Orders
+	// the engine assigns first win the race and count as assigned.
+	CancelAfter time.Duration
 	// City supplies the spatial order distribution: pickups and dropoffs
 	// are drawn from one generated day of its demand (default: the
 	// scaled NYC-like city at 2000 orders/day).
@@ -58,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.Patience <= 0 {
 		c.Patience = 600
 	}
+	if c.CancelFraction > 0 && c.CancelAfter <= 0 {
+		c.CancelAfter = 50 * time.Millisecond
+	}
 	if c.City == nil {
 		c.City = workload.NewCity(workload.CityConfig{OrdersPerDay: 2000, Seed: 17})
 	}
@@ -75,8 +88,9 @@ func (c Config) withDefaults() Config {
 
 // Result is one submission's fate as the harness observed it.
 type Result struct {
-	ID      int64         `json:"id"`
-	Status  string        `json:"status"` // assigned/expired/pending/rejected/error
+	ID int64 `json:"id"`
+	// Status is assigned/expired/canceled/pending/rejected/error.
+	Status  string        `json:"status"`
 	Latency time.Duration `json:"-"`
 	// LatencyMS mirrors Latency for the JSON report.
 	LatencyMS float64 `json:"latency_ms"`
@@ -87,14 +101,18 @@ type Report struct {
 	Orders         int     `json:"orders"`
 	Assigned       int     `json:"assigned"`
 	Expired        int     `json:"expired"`
-	Pending        int     `json:"pending"` // wait timed out while still pending
+	Canceled       int     `json:"canceled"` // rider-initiated (the DELETE mix)
+	Pending        int     `json:"pending"`  // wait timed out while still pending
 	Rejected       int     `json:"rejected_429"`
 	Errors         int     `json:"errors"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Throughput counts completed submissions (any fate) per second.
 	Throughput float64 `json:"throughput_per_sec"`
-	// Latency summarizes submit-to-assignment wall latency over orders
-	// that reached a terminal state (assigned or expired).
+	// Latency summarizes submit-to-assignment wall latency over
+	// long-polled orders that reached a terminal state (assigned or
+	// expired). Cancel-mix orders are submitted without waiting and
+	// polled, so they carry no comparable sample regardless of how the
+	// DELETE race ends.
 	Latency LatencySummary `json:"latency"`
 	// Results lists every submission in completion order.
 	Results []Result `json:"-"`
@@ -174,12 +192,25 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			report.Assigned++
 		case "expired":
 			report.Expired++
+		case "canceled":
+			report.Canceled++
 		case "pending":
 			report.Pending++
 		case "rejected":
 			report.Rejected++
 		default:
 			report.Errors++
+		}
+	}
+
+	// The cancellation mix: which submissions the harness will DELETE,
+	// decided upfront so the plan is deterministic in the seed.
+	var cancelPlan []bool
+	if cfg.CancelFraction > 0 {
+		planRng := rand.New(rand.NewSource(cfg.Seed + 2))
+		cancelPlan = make([]bool, cfg.Orders)
+		for i := range cancelPlan {
+			cancelPlan[i] = planRng.Float64() < cfg.CancelFraction
 		}
 	}
 
@@ -192,7 +223,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					return
 				}
 				o := endpoints[i%len(endpoints)]
-				record(submitOne(ctx, cfg, o, &hist))
+				if cancelPlan != nil && cancelPlan[i] {
+					record(cancelOne(ctx, cfg, o))
+				} else {
+					record(submitOne(ctx, cfg, o, &hist))
+				}
 			}
 		}()
 	}
@@ -249,9 +284,98 @@ func submitOne(ctx context.Context, cfg Config, o trace.Order, hist *Histogram) 
 	case "assigned", "expired":
 		hist.Observe(elapsed)
 		return Result{ID: reply.ID, Status: reply.Status, Latency: elapsed}
+	case "canceled_by_rider":
+		// Another actor (a concurrent DELETE, the scenario's patience
+		// model) canceled the order while we long-polled.
+		return Result{ID: reply.ID, Status: "canceled", Latency: elapsed}
 	case "pending":
 		return Result{ID: reply.ID, Status: "pending", Latency: elapsed}
 	default:
 		return Result{ID: reply.ID, Status: "error"}
 	}
+}
+
+// cancelOne drives the cancellation mix for one order: submit without
+// waiting, DELETE after the configured delay, then poll the order view
+// to its terminal state. Assignments that beat the DELETE count as
+// assigned — the race is the scenario.
+func cancelOne(ctx context.Context, cfg Config, o trace.Order) Result {
+	body, err := json.Marshal(submitBody{
+		Pickup:          point{Lng: o.Pickup.Lng, Lat: o.Pickup.Lat},
+		Dropoff:         point{Lng: o.Dropoff.Lng, Lat: o.Dropoff.Lat},
+		PatienceSeconds: cfg.Patience,
+	})
+	if err != nil {
+		return Result{Status: "error"}
+	}
+	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	reply, code, err := doJSON(rctx, cfg, http.MethodPost, "/v1/orders", body)
+	if err != nil {
+		return Result{Status: "error"}
+	}
+	if code == http.StatusTooManyRequests {
+		return Result{ID: -1, Status: "rejected"}
+	}
+	if code != http.StatusAccepted && code != http.StatusOK {
+		return Result{Status: "error"}
+	}
+
+	select {
+	case <-time.After(cfg.CancelAfter):
+	case <-rctx.Done():
+		return Result{ID: reply.ID, Status: "error"}
+	}
+	path := fmt.Sprintf("/v1/orders/%d", reply.ID)
+	if _, _, err := doJSON(rctx, cfg, http.MethodDelete, path, nil); err != nil {
+		return Result{ID: reply.ID, Status: "error"}
+	}
+
+	// Poll to the terminal state (the cancel is adjudicated at the
+	// engine's next batch).
+	for {
+		view, code, err := doJSON(rctx, cfg, http.MethodGet, path, nil)
+		if err != nil || code != http.StatusOK {
+			return Result{ID: reply.ID, Status: "error"}
+		}
+		switch view.Status {
+		case "canceled_by_rider":
+			return Result{ID: reply.ID, Status: "canceled", Latency: time.Since(start)}
+		case "assigned", "expired":
+			return Result{ID: reply.ID, Status: view.Status, Latency: time.Since(start)}
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-rctx.Done():
+			return Result{ID: reply.ID, Status: "pending"}
+		}
+	}
+}
+
+// doJSON issues one request against the gateway and decodes the order
+// reply when there is one.
+func doJSON(ctx context.Context, cfg Config, method, path string, body []byte) (submitReply, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cfg.BaseURL+path, rd)
+	if err != nil {
+		return submitReply{}, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return submitReply{}, 0, err
+	}
+	defer resp.Body.Close()
+	var reply submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return submitReply{}, resp.StatusCode, nil
+	}
+	return reply, resp.StatusCode, nil
 }

@@ -3,8 +3,10 @@ package load
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -39,10 +41,60 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramNearestRankNonAligning is the regression test for the
+// floor-indexing quantile bug: at sample counts where p*(n-1) is
+// fractional, int(p * (n-1)) floors and under-reports the tail. With
+// nearest-rank indexing (ceil(p*n)-1) the p95 of 10 samples is the
+// 10th sample, not the 9th, and the p99 of 97 samples is the 97th, not
+// the 96th.
+func TestHistogramNearestRankNonAligning(t *testing.T) {
+	var h10 Histogram
+	for i := 1; i <= 10; i++ {
+		h10.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h10.Summary()
+	if s.P50MS != 5 {
+		t.Errorf("n=10 p50 = %v, want 5 (ceil(0.50*10) = 5th sample)", s.P50MS)
+	}
+	if s.P95MS != 10 {
+		t.Errorf("n=10 p95 = %v, want 10 (ceil(0.95*10) = 10th sample; floor indexing reported 9)", s.P95MS)
+	}
+	if s.P99MS != 10 {
+		t.Errorf("n=10 p99 = %v, want 10", s.P99MS)
+	}
+
+	var h97 Histogram
+	for i := 1; i <= 97; i++ {
+		h97.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s = h97.Summary()
+	if s.P50MS != 49 {
+		t.Errorf("n=97 p50 = %v, want 49 (ceil(0.50*97) = 49th sample)", s.P50MS)
+	}
+	if s.P95MS != 93 {
+		t.Errorf("n=97 p95 = %v, want 93 (ceil(0.95*97) = 93rd sample)", s.P95MS)
+	}
+	if s.P99MS != 97 {
+		t.Errorf("n=97 p99 = %v, want 97 (ceil(0.99*97) = 97th sample; floor indexing reported 96)", s.P99MS)
+	}
+
+	// A single sample is every quantile.
+	var h1 Histogram
+	h1.Observe(7 * time.Millisecond)
+	s = h1.Summary()
+	if s.P50MS != 7 || s.P95MS != 7 || s.P99MS != 7 {
+		t.Errorf("n=1 quantiles = %+v, want all 7", s)
+	}
+}
+
 // stubGateway fakes the gateway's submit endpoint: every Nth request is
-// rejected with 429, the rest are "assigned".
+// rejected with 429, the rest are "assigned". DELETE marks the order
+// canceled; GET serves its current state — enough surface for the
+// cancellation mix.
 func stubGateway(rejectEvery int) http.Handler {
 	var n atomic.Int64
+	var mu sync.Mutex
+	canceled := map[int64]bool{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/orders", func(w http.ResponseWriter, r *http.Request) {
 		var body submitBody
@@ -55,10 +107,65 @@ func stubGateway(rejectEvery int) http.Handler {
 			w.WriteHeader(http.StatusTooManyRequests)
 			return
 		}
+		status := "assigned"
+		if r.URL.Query().Get("wait") != "true" {
+			status = "pending"
+			w.WriteHeader(http.StatusAccepted)
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(submitReply{ID: i, Status: "assigned"})
+		json.NewEncoder(w).Encode(submitReply{ID: i, Status: status})
+	})
+	mux.HandleFunc("DELETE /v1/orders/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var id int64
+		fmt.Sscanf(r.PathValue("id"), "%d", &id)
+		mu.Lock()
+		canceled[id] = true
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(submitReply{ID: id, Status: "pending"})
+	})
+	mux.HandleFunc("GET /v1/orders/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var id int64
+		fmt.Sscanf(r.PathValue("id"), "%d", &id)
+		mu.Lock()
+		isCanceled := canceled[id]
+		mu.Unlock()
+		status := "assigned"
+		if isCanceled {
+			status = "canceled_by_rider"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(submitReply{ID: id, Status: status})
 	})
 	return mux
+}
+
+// TestRunCancellationMix drives the DELETE mix against the stub: the
+// selected fraction is canceled, the rest assigned, with deterministic
+// selection by seed.
+func TestRunCancellationMix(t *testing.T) {
+	ts := httptest.NewServer(stubGateway(0))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Orders: 40, Concurrency: 4, Seed: 3, Client: ts.Client(),
+		CancelFraction: 0.5, CancelAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Orders != 40 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Canceled == 0 || rep.Canceled == 40 {
+		t.Fatalf("canceled = %d, want a mixed outcome at fraction 0.5", rep.Canceled)
+	}
+	if rep.Assigned+rep.Canceled != 40 {
+		t.Fatalf("assigned %d + canceled %d != 40", rep.Assigned, rep.Canceled)
+	}
+	// Canceled orders carry no submit-to-assignment latency sample.
+	if rep.Latency.Count != rep.Assigned {
+		t.Fatalf("latency samples %d, want %d (assigned only)", rep.Latency.Count, rep.Assigned)
+	}
 }
 
 func TestRunClosedLoopAgainstStub(t *testing.T) {

@@ -9,7 +9,7 @@ import (
 )
 
 // event is one SSE payload. Type is one of "batch", "assigned",
-// "expired", "repositioned".
+// "expired", "canceled", "declined", "repositioned".
 type event struct {
 	Type string  `json:"type"`
 	T    float64 `json:"t"` // engine time
@@ -134,6 +134,14 @@ func (h *hub) observer() mrvd.Observer {
 		},
 		Expired: func(e mrvd.ExpiredEvent) {
 			emit(event{Type: "expired", T: e.Now, Order: ptr(int64(e.Rider.Order.ID))})
+		},
+		Canceled: func(e mrvd.CanceledEvent) {
+			emit(event{Type: "canceled", T: e.Now, Order: ptr(int64(e.Rider.Order.ID))})
+		},
+		Declined: func(e mrvd.DeclinedEvent) {
+			emit(event{Type: "declined", T: e.Now,
+				Order: ptr(int64(e.Rider.Order.ID)), Driver: ptr(int64(e.Driver)),
+				FreeAt: ptr(e.RetryAt)})
 		},
 		Repositioned: func(e mrvd.RepositionedEvent) {
 			from, to := toPoint(e.From), toPoint(e.To)

@@ -94,6 +94,7 @@ func New(ctx context.Context, svc *mrvd.Service, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/orders", s.handleSubmit)
 	mux.HandleFunc("GET /v1/orders", s.handleOrders)
 	mux.HandleFunc("GET /v1/orders/{id}", s.handleOrder)
+	mux.HandleFunc("DELETE /v1/orders/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/drivers", s.handleDrivers)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -129,15 +130,18 @@ type orderRequest struct {
 }
 
 type orderResponse struct {
-	ID       int64      `json:"id"`
-	Status   string     `json:"status"`
-	PostTime float64    `json:"post_time"`
-	Deadline float64    `json:"deadline"`
-	Pickup   pointJSON  `json:"pickup"`
-	Dropoff  pointJSON  `json:"dropoff"`
-	Driver   *int64     `json:"driver,omitempty"`
-	Assigned *assigned  `json:"assignment,omitempty"`
-	Expired  *expiredAt `json:"expiry,omitempty"`
+	ID       int64       `json:"id"`
+	Status   string      `json:"status"`
+	PostTime float64     `json:"post_time"`
+	Deadline float64     `json:"deadline"`
+	Pickup   pointJSON   `json:"pickup"`
+	Dropoff  pointJSON   `json:"dropoff"`
+	Driver   *int64      `json:"driver,omitempty"`
+	Assigned *assigned   `json:"assignment,omitempty"`
+	Expired  *expiredAt  `json:"expiry,omitempty"`
+	Canceled *canceledAt `json:"cancellation,omitempty"`
+	// Declines counts driver declines this order survived.
+	Declines int `json:"declines,omitempty"`
 	// WaitMS is the wall-clock milliseconds a ?wait submit spent from
 	// acceptance to the terminal outcome (submit responses only).
 	WaitMS float64 `json:"wait_ms,omitempty"`
@@ -155,9 +159,14 @@ type expiredAt struct {
 	At float64 `json:"at"`
 }
 
+type canceledAt struct {
+	At float64 `json:"at"`
+}
+
 type driverResponse struct {
 	ID          int64     `json:"id"`
 	Served      int       `json:"served"`
+	Declines    int       `json:"declines"`
 	Repositions int       `json:"repositions"`
 	Busy        bool      `json:"busy"`
 	Pos         pointJSON `json:"pos"`
@@ -197,6 +206,11 @@ func orderViewResponse(v sim.OrderView) orderResponse {
 		}
 	case sim.OrderExpired:
 		resp.Expired = &expiredAt{At: v.ExpiredAt}
+	case sim.OrderCanceled:
+		resp.Canceled = &canceledAt{At: v.CanceledAt}
+	}
+	if v.Declines > 0 {
+		resp.Declines = v.Declines
 	}
 	return resp
 }
@@ -295,6 +309,38 @@ func (s *Server) handleOrder(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, orderViewResponse(v))
 }
 
+// handleCancel applies a rider-initiated cancellation: DELETE
+// /v1/orders/{id}. The cancel is asynchronous — the engine adjudicates
+// it at its next batch, so a driver assigned in the same instant wins
+// the race and the order still completes. 202 hands back the order's
+// current view; a long-poll or GET observes the terminal state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad order id %q", r.PathValue("id"))
+		return
+	}
+	switch err := s.handle.Cancel(trace.OrderID(id)); {
+	case errors.Is(err, mrvd.ErrServeFinished):
+		writeError(w, http.StatusServiceUnavailable, "serve session ended")
+		return
+	case errors.Is(err, mrvd.ErrUnknownOrder):
+		// Distinguish "already terminal" (the view exists) from "never
+		// seen" for the client's benefit; both refuse the cancel.
+		if v, ok := s.store.Order(trace.OrderID(id)); ok && v.State != sim.OrderPending {
+			writeJSON(w, http.StatusConflict, orderViewResponse(v))
+			return
+		}
+		writeError(w, http.StatusNotFound, "order %d unknown", id)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "cancel: %v", err)
+		return
+	}
+	v, _ := s.store.Order(trace.OrderID(id))
+	writeJSON(w, http.StatusAccepted, orderViewResponse(v))
+}
+
 func (s *Server) handleOrders(w http.ResponseWriter, r *http.Request) {
 	views := s.store.Orders()
 	out := make([]orderResponse, len(views))
@@ -309,7 +355,7 @@ func (s *Server) handleDrivers(w http.ResponseWriter, r *http.Request) {
 	out := make([]driverResponse, len(views))
 	for i, v := range views {
 		out[i] = driverResponse{
-			ID: int64(v.ID), Served: v.Served, Repositions: v.Repositions,
+			ID: int64(v.ID), Served: v.Served, Declines: v.Declines, Repositions: v.Repositions,
 			Busy: v.Busy, Pos: toPoint(v.Pos), FreeAt: v.FreeAt,
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"mrvd/internal/geo"
 	"mrvd/internal/roadnet"
 	"mrvd/internal/sim"
+	"mrvd/internal/stats"
 	"mrvd/internal/trace"
 )
 
@@ -56,7 +57,11 @@ type Stats struct {
 	BorrowedIn int `json:"borrowed_in"`
 	Served     int `json:"served"`
 	Reneged    int `json:"reneged"`
-	Batches    int `json:"batches"`
+	// Canceled counts rider-initiated cancellations admitted by this
+	// shard; Declined counts driver-declined assignments here.
+	Canceled int `json:"canceled"`
+	Declined int `json:"declined"`
+	Batches  int `json:"batches"`
 	// Dispatch wall time of this shard's StepDispatch per round, ms.
 	AvgBatchMS  float64 `json:"avg_batch_ms"`
 	MaxBatchMS  float64 `json:"max_batch_ms"`
@@ -79,6 +84,15 @@ type Runtime struct {
 	engines []*sim.Engine
 	feeds   []*feedSource
 	costers []roadnet.Coster
+	// routed records which shard admitted each order — the address book
+	// rider-initiated cancels are routed by. Coordinator-only state.
+	routed map[trace.OrderID]ID
+	// pendingCancels holds cancels for orders the city-wide source has
+	// not released yet; retried in FIFO order every round. srcDone
+	// records the source's done signal: once set, unmatched cancels can
+	// never match and are dropped instead of retried.
+	pendingCancels []trace.OrderID
+	srcDone        bool
 	// global[i][local] is the fleet-wide driver id of shard i's local
 	// driver index — the remap the event aggregator applies.
 	global [][]sim.DriverID
@@ -148,6 +162,10 @@ func New(cfg Config, src sim.OrderSource, starts []geo.Point) (*Runtime, error) 
 		}
 	}
 
+	if _, ok := src.(sim.CancelableSource); ok {
+		rt.routed = make(map[trace.OrderID]ID)
+	}
+
 	probes := make([]SupplyProbe, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
 		ecfg := cfg.Sim
@@ -157,6 +175,12 @@ func New(cfg Config, src sim.OrderSource, starts []geo.Point) (*Runtime, error) 
 		ecfg.Shifts = shardShifts[s]
 		if cfg.Costers != nil {
 			ecfg.Coster = cfg.Costers[s]
+		}
+		if cfg.Shards > 1 && ecfg.Scenario.Enabled() {
+			// Decorrelate the per-shard disruption streams. A 1-shard
+			// runtime keeps the parent seed so it reproduces the
+			// unsharded engine's draws — and hence its events — exactly.
+			ecfg.Scenario.Seed = stats.SplitSeed(cfg.Sim.Scenario.Seed, s)
 		}
 		rt.costers[s] = ecfg.Coster
 		rt.feeds[s] = &feedSource{}
@@ -236,6 +260,9 @@ func (rt *Runtime) Run(ctx context.Context, newDispatcher func(shard int) (sim.D
 		for _, o := range ready {
 			s, borrowed := rt.router.Route(o, now)
 			rt.feeds[s].push(o)
+			if rt.routed != nil {
+				rt.routed[o.ID] = s
+			}
 			rt.statsMu.Lock()
 			rt.stats[s].Admitted++
 			if borrowed {
@@ -244,10 +271,12 @@ func (rt *Runtime) Run(ctx context.Context, newDispatcher func(shard int) (sim.D
 			rt.statsMu.Unlock()
 		}
 		if done {
+			rt.srcDone = true
 			for _, f := range rt.feeds {
 				f.markDone()
 			}
 		}
+		rt.routeCancels()
 
 		rt.parallel(func(i int) { rt.engines[i].StepAdmit(now) })
 		rt.rehomeFleet()
@@ -333,6 +362,31 @@ func (rt *Runtime) parallel(f func(i int)) {
 		ch <- f
 	}
 	rt.phase.Wait()
+}
+
+// routeCancels forwards rider-initiated cancellation requests from the
+// city-wide source to the shard that admitted each order. Cancels whose
+// order the source has not released yet are retried next round (the
+// order will be routed first); the admitting shard's engine drops
+// cancels for already-terminal orders.
+func (rt *Runtime) routeCancels() {
+	if rt.routed == nil {
+		return
+	}
+	ids := rt.src.(sim.CancelableSource).PollCancels()
+	if len(rt.pendingCancels) > 0 {
+		ids = append(rt.pendingCancels, ids...)
+		rt.pendingCancels = nil
+	}
+	for _, id := range ids {
+		if s, ok := rt.routed[id]; ok {
+			rt.feeds[s].pushCancel(id)
+		} else if !rt.srcDone {
+			// Still buffered in the city-wide source; retry once it is
+			// routed. After done the id can never arrive: drop it.
+			rt.pendingCancels = append(rt.pendingCancels, id)
+		}
+	}
 }
 
 // rehomeFleet migrates every available driver standing in territory
@@ -454,6 +508,8 @@ func (rt *Runtime) aggregate(ms []*sim.Metrics) *sim.Metrics {
 		agg.Revenue += m.Revenue
 		agg.Served += m.Served
 		agg.Reneged += m.Reneged
+		agg.Canceled += m.Canceled
+		agg.Declines += m.Declines
 		agg.TotalOrders += m.TotalOrders
 		agg.PickupSeconds += m.PickupSeconds
 		if m.Batches > rounds {
@@ -473,6 +529,10 @@ func (rt *Runtime) aggregate(ms []*sim.Metrics) *sim.Metrics {
 		for _, rec := range m.IdleRecords {
 			rec.Driver = rt.global[i][rec.Driver]
 			agg.IdleRecords = append(agg.IdleRecords, rec)
+		}
+		for _, rec := range m.TravelRecords {
+			rec.Driver = rt.global[i][rec.Driver]
+			agg.TravelRecords = append(agg.TravelRecords, rec)
 		}
 	}
 	if rt.sized >= 0 {
@@ -519,6 +579,33 @@ func (t *tap) OnExpired(e sim.ExpiredEvent) {
 	rt.obsMu.Unlock()
 }
 
+func (t *tap) OnCanceled(e sim.CanceledEvent) {
+	rt := t.rt
+	rt.statsMu.Lock()
+	rt.stats[t.shard].Canceled++
+	rt.statsMu.Unlock()
+	if rt.downstream == nil {
+		return
+	}
+	rt.obsMu.Lock()
+	rt.downstream.OnCanceled(e)
+	rt.obsMu.Unlock()
+}
+
+func (t *tap) OnDeclined(e sim.DeclinedEvent) {
+	rt := t.rt
+	rt.statsMu.Lock()
+	rt.stats[t.shard].Declined++
+	rt.statsMu.Unlock()
+	if rt.downstream == nil {
+		return
+	}
+	e.Driver = rt.global[t.shard][e.Driver]
+	rt.obsMu.Lock()
+	rt.downstream.OnDeclined(e)
+	rt.obsMu.Unlock()
+}
+
 func (t *tap) OnRepositioned(e sim.RepositionedEvent) {
 	rt := t.rt
 	if rt.downstream == nil {
@@ -536,12 +623,14 @@ func (t *tap) OnRepositioned(e sim.RepositionedEvent) {
 // happens-before edges, so no locking is needed — pushes and polls
 // never overlap.
 type feedSource struct {
-	staged []trace.Order
-	done   bool
+	staged  []trace.Order
+	cancels []trace.OrderID
+	done    bool
 }
 
-func (f *feedSource) push(o trace.Order) { f.staged = append(f.staged, o) }
-func (f *feedSource) markDone()          { f.done = true }
+func (f *feedSource) push(o trace.Order)          { f.staged = append(f.staged, o) }
+func (f *feedSource) pushCancel(id trace.OrderID) { f.cancels = append(f.cancels, id) }
+func (f *feedSource) markDone()                   { f.done = true }
 
 // Poll implements sim.OrderSource: everything staged is already due
 // (the coordinator routes only orders the city-wide source released).
@@ -552,4 +641,13 @@ func (f *feedSource) Poll(float64) ([]trace.Order, bool) {
 	ready := f.staged
 	f.staged = f.staged[:0]
 	return ready, f.done
+}
+
+// PollCancels implements sim.CancelableSource under the same barrier
+// discipline: the coordinator pushes routed cancels between rounds, the
+// shard's engine drains them at its next StepAdmit.
+func (f *feedSource) PollCancels() []trace.OrderID {
+	ids := f.cancels
+	f.cancels = f.cancels[:0]
+	return ids
 }

@@ -40,6 +40,12 @@ func (l *eventLog) OnAssigned(e sim.AssignedEvent) {
 func (l *eventLog) OnExpired(e sim.ExpiredEvent) {
 	l.entries = append(l.entries, fmt.Sprintf("expire o=%d t=%.0f", e.Rider.Order.ID, e.Now))
 }
+func (l *eventLog) OnCanceled(e sim.CanceledEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("cancel o=%d t=%.0f explicit=%v", e.Rider.Order.ID, e.Now, e.Explicit))
+}
+func (l *eventLog) OnDeclined(e sim.DeclinedEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("decline o=%d d=%d t=%.0f retry=%.0f", e.Rider.Order.ID, e.Driver, e.Now, e.RetryAt))
+}
 func (l *eventLog) OnRepositioned(e sim.RepositionedEvent) {
 	l.entries = append(l.entries, fmt.Sprintf("repos d=%d t=%.0f", e.Driver, e.Now))
 }
@@ -93,6 +99,148 @@ func TestOneShardParity(t *testing.T) {
 	}
 	if sharded.TotalOrders != len(orders) {
 		t.Fatalf("TotalOrders = %d, want the full trace %d", sharded.TotalOrders, len(orders))
+	}
+}
+
+// TestOneShardScenarioParity extends the parity contract to the
+// disruption layer: with scenarios enabled (cancellations, declines,
+// travel noise) a 1-shard runtime must still reproduce the unsharded
+// engine event for event — the scenario RNG stream, the cancel/decline
+// draws and the noise perturbations all line up because a 1-shard
+// runtime keeps the parent scenario seed.
+func TestOneShardScenarioParity(t *testing.T) {
+	orders, starts, grid := testInstance(t, 1500, 40)
+	scenario := sim.ScenarioConfig{
+		CancelRate:  0.2,
+		DeclineProb: 0.15,
+		TravelNoise: 0.25,
+		Seed:        7,
+	}
+	cfg := sim.Config{Grid: grid, Delta: 3, TC: 1200, Horizon: 4 * 3600, Scenario: scenario}
+
+	baseCfg := cfg
+	baseLog := &eventLog{}
+	baseCfg.Observer = baseLog
+	base, err := sim.New(baseCfg, orders, starts).Run(context.Background(), &dispatch.IRG{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Canceled == 0 || base.Declines == 0 || len(base.TravelRecords) == 0 {
+		t.Fatalf("scenario inactive in the reference run: %+v", base.Summary())
+	}
+
+	shardCfg := cfg
+	shardLog := &eventLog{}
+	shardCfg.Observer = shardLog
+	rt, err := New(Config{Sim: shardCfg, Shards: 1}, sim.NewSliceSource(orders), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+		return &dispatch.IRG{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.Summary() != sharded.Summary() {
+		t.Fatalf("1-shard scenario run diverges:\n  unsharded: %+v\n  1-shard:   %+v",
+			base.Summary(), sharded.Summary())
+	}
+	if !reflect.DeepEqual(base.TravelRecords, sharded.TravelRecords) {
+		t.Fatalf("travel-error ledgers differ: %d vs %d records",
+			len(base.TravelRecords), len(sharded.TravelRecords))
+	}
+	if !reflect.DeepEqual(baseLog.entries, shardLog.entries) {
+		for i := range baseLog.entries {
+			if i >= len(shardLog.entries) || baseLog.entries[i] != shardLog.entries[i] {
+				t.Fatalf("scenario event streams diverge at %d:\n  unsharded: %s\n  1-shard:   %s",
+					i, baseLog.entries[i], shardLog.entries[i])
+			}
+		}
+		t.Fatalf("scenario event stream lengths differ: %d vs %d", len(baseLog.entries), len(shardLog.entries))
+	}
+}
+
+// TestShardedScenarioDeterministicAndCounted: a multi-shard scenario
+// run reproduces exactly, decorrelates per-shard RNG streams, and its
+// shard stats account for every cancel and decline.
+func TestShardedScenarioDeterministicAndCounted(t *testing.T) {
+	orders, starts, grid := testInstance(t, 1500, 40)
+	run := func() (*sim.Metrics, []Stats) {
+		cfg := sim.Config{
+			Grid: grid, Delta: 3, TC: 1200, Horizon: 3 * 3600,
+			Scenario: sim.ScenarioConfig{CancelRate: 0.3, DeclineProb: 0.2, Seed: 11},
+		}
+		rt, err := New(Config{Sim: cfg, Shards: 4}, sim.NewSliceSource(orders), starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+			return dispatch.NEAR{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rt.Stats()
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if m1.Summary() != m2.Summary() {
+		t.Fatalf("4-shard scenario runs differ:\n  %+v\n  %+v", m1.Summary(), m2.Summary())
+	}
+	if m1.Canceled == 0 || m1.Declines == 0 {
+		t.Fatalf("scenario inactive across shards: %+v", m1.Summary())
+	}
+	canceled, declined := 0, 0
+	for i := range s1 {
+		if s1[i].Canceled != s2[i].Canceled || s1[i].Declined != s2[i].Declined {
+			t.Fatalf("shard %d disruption counters differ between identical runs", i)
+		}
+		canceled += s1[i].Canceled
+		declined += s1[i].Declined
+	}
+	if canceled != m1.Canceled || declined != m1.Declines {
+		t.Fatalf("shard stats (%d canceled, %d declined) disagree with metrics (%d, %d)",
+			canceled, declined, m1.Canceled, m1.Declines)
+	}
+}
+
+// TestRouterDeadlineBoundaryStaysHome pins the router's zero-slack
+// shortcut against the engine's boundary semantics: an order whose
+// deadline equals its routing time has a zero patience radius, stays
+// with the owner shard under either policy, and is still served when
+// the owner has a driver exactly at the pickup — the same
+// dispatchability the unsharded engine guarantees at Deadline == now.
+func TestRouterDeadlineBoundaryStaysHome(t *testing.T) {
+	grid := geo.NewGrid(geo.BBox{MinLng: 0, MinLat: 0, MaxLng: 0.04, MaxLat: 0.04}, 4, 4)
+	pickup := geo.Point{Lng: 0.005, Lat: 0.0175} // shard 0 frontier row
+	order := trace.Order{
+		ID: 1, PostTime: 3, Deadline: 3, // zero slack at the t=3 round
+		Pickup:  pickup,
+		Dropoff: geo.Point{Lng: 0.030, Lat: 0.0050},
+	}
+	for _, policy := range []BoundaryPolicy{StrictOwnership, CandidateBorrow} {
+		cfg := sim.Config{Grid: grid, Delta: 3, TC: 600, Horizon: 300, StopWhenDrained: true}
+		rt, err := New(Config{Sim: cfg, Shards: 2, Policy: policy},
+			sim.NewSliceSource([]trace.Order{order}), []geo.Point{pickup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+			return dispatch.NEAR{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := rt.Stats()
+		if stats[0].Admitted != 1 || stats[1].Admitted != 0 {
+			t.Fatalf("%v: zero-slack order left home: %+v", policy, stats)
+		}
+		if m.Served != 1 || m.Reneged != 0 {
+			t.Fatalf("%v: zero-slack order with a co-located driver: served=%d reneged=%d, want 1/0",
+				policy, m.Served, m.Reneged)
+		}
 	}
 }
 

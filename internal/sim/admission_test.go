@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrvd/internal/geo"
+	"mrvd/internal/roadnet"
+	"mrvd/internal/trace"
+)
+
+// clusteredWave builds one admission wave shaped like real demand: a
+// few pickup clusters, trips a couple of kilometres long, everything
+// posted by t=0.
+func clusteredWave(n int) []trace.Order {
+	rng := rand.New(rand.NewSource(8))
+	c := center()
+	var orders []trace.Order
+	for i := 0; i < n; i++ {
+		anchor := offset(c, float64((i%4)*4000))
+		pickup := offset(anchor, rng.Float64()*300)
+		orders = append(orders, trace.Order{
+			ID: trace.OrderID(i), PostTime: 0,
+			Pickup:   pickup,
+			Dropoff:  offset(pickup, 1500+rng.Float64()*1000),
+			Deadline: 600,
+		})
+	}
+	return orders
+}
+
+// TestAdmissionWaveTripCostParity pins the bitwise contract of the
+// admission sweep: trip costs priced through the wave's one Costs call
+// must equal per-pair Cost queries exactly, for both built-in costers.
+func TestAdmissionWaveTripCostParity(t *testing.T) {
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Rows: 20, Cols: 20, Seed: 23})
+	orders := clusteredWave(40)
+	for _, c := range []roadnet.Coster{roadnet.NewGraphCoster(g), roadnet.NewDefaultCoster()} {
+		admit := func(coster roadnet.Coster) []*Rider {
+			cfg := simpleConfig()
+			cfg.Coster = coster
+			e := NewWithSource(cfg, NewSliceSource(orders), []geo.Point{center()})
+			e.admitOrders(0)
+			return e.Riders()
+		}
+		batched := admit(c)
+		perPair := admit(pairOnlyCoster{c})
+		if len(batched) != len(orders) || len(perPair) != len(orders) {
+			t.Fatalf("admitted %d/%d riders, want %d", len(batched), len(perPair), len(orders))
+		}
+		for i := range batched {
+			if batched[i].TripCost != perPair[i].TripCost {
+				t.Fatalf("order %d: batched trip cost %v != per-pair %v",
+					i, batched[i].TripCost, perPair[i].TripCost)
+			}
+		}
+	}
+}
+
+// TestAdmissionWaveFewerComputations is the admission-side companion of
+// TestBatchCostsFewerComputations: pricing one wave's pickup→dropoff
+// costs through a single Costs call must settle fewer Dijkstra nodes
+// than the per-pair loop, whose every cache miss expands a full
+// shortest-path tree while the batch run truncates at the wave's
+// dropoffs.
+func TestAdmissionWaveFewerComputations(t *testing.T) {
+	g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Rows: 30, Cols: 30, Seed: 23})
+	orders := clusteredWave(60)
+
+	admit := func(c roadnet.Coster) {
+		cfg := simpleConfig()
+		cfg.Coster = c
+		e := NewWithSource(cfg, NewSliceSource(orders), []geo.Point{center()})
+		e.admitOrders(0)
+	}
+	batchC := roadnet.NewGraphCoster(g)
+	admit(batchC)
+	pairC := roadnet.NewGraphCoster(g)
+	admit(pairOnlyCoster{pairC})
+
+	b, p := batchC.Stats(), pairC.Stats()
+	if b.SettledNodes == 0 || p.SettledNodes == 0 {
+		t.Fatalf("instrumentation broken: batch settled %d, per-pair %d", b.SettledNodes, p.SettledNodes)
+	}
+	ratio := float64(p.SettledNodes) / float64(b.SettledNodes)
+	t.Logf("admission wave settled nodes: per-pair %d (%d full trees), batch %d (%d truncated runs) — %.2fx",
+		p.SettledNodes, p.Trees, b.SettledNodes, b.PartialTrees, ratio)
+	if ratio < 1.2 {
+		t.Errorf("admission batching saved too little shortest-path work: %.2fx, want >= 1.2x", ratio)
+	}
+}

@@ -147,8 +147,9 @@ func (c *countingBatchCoster) Costs(sources, targets []geo.Point) [][]float64 {
 }
 
 // TestEngineHonorsCustomBatchCoster pins the API promise that a custom
-// native BatchCoster is priced through one Costs call per batch, never
-// per-pair Cost queries in the candidate loop.
+// native BatchCoster is priced through batched Costs calls only — one
+// for the admission wave's trip costs, one for the batch's pickup-cost
+// matrix — never per-pair Cost queries.
 func TestEngineHonorsCustomBatchCoster(t *testing.T) {
 	pickup := center()
 	orders := []trace.Order{{
@@ -161,10 +162,15 @@ func TestEngineHonorsCustomBatchCoster(t *testing.T) {
 	cfg.Coster = cc
 	e := NewWithSource(cfg, NewSliceSource(orders), []geo.Point{offset(pickup, 400)})
 	e.admitOrders(11)
-	cc.pairCalls = 0 // ignore the admission-time TripCost query
-	ctx := e.buildContext(11)
 	if cc.batchCalls != 1 {
-		t.Fatalf("custom BatchCoster got %d Costs calls, want 1", cc.batchCalls)
+		t.Fatalf("admission wave made %d Costs calls, want 1", cc.batchCalls)
+	}
+	if cc.pairCalls != 0 {
+		t.Fatalf("admission pricing made %d per-pair Cost calls, want 0", cc.pairCalls)
+	}
+	ctx := e.buildContext(11)
+	if cc.batchCalls != 2 {
+		t.Fatalf("custom BatchCoster got %d Costs calls, want 2 (admission + pickup matrix)", cc.batchCalls)
 	}
 	if cc.pairCalls != 0 {
 		t.Fatalf("candidate pricing made %d per-pair Cost calls, want 0", cc.pairCalls)

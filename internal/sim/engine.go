@@ -70,6 +70,13 @@ type Config struct {
 	// the natural exit for live ChannelSource serving. The default keeps
 	// the paper's fixed-horizon batch count.
 	StopWhenDrained bool
+	// Scenario gates the disruption layer: stochastic rider
+	// cancellations, driver declines and travel-time noise. The zero
+	// value disables all three and keeps the engine byte-identical to a
+	// scenario-free run; see ScenarioConfig. Explicit cancels are
+	// independent of the scenario: they flow in whenever the order
+	// source implements CancelableSource.
+	Scenario ScenarioConfig
 	// PaceFactor paces the batch loop against the wall clock: the
 	// simulation advances at most PaceFactor simulated seconds per wall
 	// second (1 = real time). This is what lets wall-clock producers
@@ -175,6 +182,21 @@ type Engine struct {
 	// openIdle maps a rejoined driver to its pending ledger entry.
 	openIdle map[DriverID]int
 
+	// scen is the disruption machinery, nil when Config.Scenario is
+	// zero-valued — the scenario-free path pays no draws and no checks
+	// beyond a nil test.
+	scen *scenarioState
+	// cancelSrc is the order source's cancellation feed when it has one
+	// (ChannelSource, the shard runtime's feedSource); nil otherwise.
+	cancelSrc CancelableSource
+	// byID indexes admitted riders by order id for explicit-cancel
+	// lookup; nil unless cancelSrc is set.
+	byID map[trace.OrderID]*Rider
+	// pendingCancels holds explicit cancel requests whose order the
+	// engine has not admitted yet (still buffered in the source); they
+	// are retried in FIFO order every batch.
+	pendingCancels []trace.OrderID
+
 	// shifts is parallel to drivers when configured.
 	shifts []Shift
 
@@ -210,6 +232,13 @@ func NewWithSource(cfg Config, src OrderSource, driverStarts []geo.Point) *Engin
 		if a, ok := cfg.Coster.(roadnet.PerSourceAmortized); ok {
 			e.denseBatch = a.AmortizesPerSource()
 		}
+	}
+	if cfg.Scenario.Enabled() {
+		e.scen = newScenarioState(cfg.Scenario)
+	}
+	if cs, ok := src.(CancelableSource); ok {
+		e.cancelSrc = cs
+		e.byID = make(map[trace.OrderID]*Rider)
 	}
 	if len(cfg.Shifts) > 0 {
 		if len(cfg.Shifts) != len(driverStarts) {
@@ -310,14 +339,18 @@ func (e *Engine) Begin() error {
 }
 
 // StepAdmit runs the pre-dispatch phase of the batch at time now: order
-// admission from the source, trip completions, shift changes and rider
-// reneging (which fires OnExpired). It must be preceded by Begin and
-// followed — on the same engine goroutine — by StepDispatch for the
-// same now, unless the run is ending.
+// admission from the source, trip completions, shift changes, rider
+// cancellations (which fire OnCanceled) and rider reneging (which fires
+// OnExpired). Cancellations are processed before reneges: a drawn
+// cancellation time always precedes the deadline, so in model time the
+// rider left first. It must be preceded by Begin and followed — on the
+// same engine goroutine — by StepDispatch for the same now, unless the
+// run is ending.
 func (e *Engine) StepAdmit(now float64) {
 	e.admitOrders(now)
 	e.rejoinDrivers(now)
 	e.processShifts(now)
+	e.processCancels(now)
 	e.renegeExpired(now)
 }
 
@@ -451,24 +484,149 @@ func (e *Engine) AddDriver(p geo.Point, freeAt float64, shift Shift) DriverID {
 // set. Orders from non-validating custom sources are checked here: a
 // structurally broken order is a programming error and panics, matching
 // New's construction-time check.
+//
+// Trip costs (pickup→dropoff) for the whole admission wave are priced
+// through one BatchCoster.Costs call when the coster batches natively —
+// the same dense-versus-lazy policy buildContext applies to pickup
+// costs. A graph coster then runs one truncated Dijkstra per unique
+// pickup instead of a full tree per order, with values bitwise-identical
+// to per-pair Cost queries (the BatchCoster contract).
 func (e *Engine) admitOrders(now float64) {
 	ready, done := e.src.Poll(now)
 	e.srcDone = done
+	if len(ready) == 0 {
+		return
+	}
 	for _, o := range ready {
 		if err := o.Valid(); err != nil {
 			panic(fmt.Sprintf("sim: %v", err))
 		}
+	}
+	var trips []float64
+	if e.denseBatch {
+		// Only the matrix diagonal is read, so the wave is chunked:
+		// Costs is dense, and one call over a huge backlog wave (a
+		// replay's first batch can admit the whole queue) would build
+		// an n×n slab to read n cells. Within a chunk the graph coster
+		// still dedups sources and truncates each expansion at the
+		// chunk's dropoffs; across chunks its tree cache carries the
+		// reuse.
+		const chunk = 256
+		trips = make([]float64, len(ready))
+		pickups := make([]geo.Point, 0, chunk)
+		dropoffs := make([]geo.Point, 0, chunk)
+		for lo := 0; lo < len(ready); lo += chunk {
+			hi := lo + chunk
+			if hi > len(ready) {
+				hi = len(ready)
+			}
+			pickups, dropoffs = pickups[:0], dropoffs[:0]
+			for _, o := range ready[lo:hi] {
+				pickups = append(pickups, o.Pickup)
+				dropoffs = append(dropoffs, o.Dropoff)
+			}
+			matrix := e.batch.Costs(pickups, dropoffs)
+			for i := range matrix {
+				trips[lo+i] = matrix[i][i]
+			}
+		}
+	}
+	for i, o := range ready {
+		trip := 0.0
+		if trips != nil {
+			trip = trips[i]
+		} else {
+			trip = e.cfg.Coster.Cost(o.Pickup, o.Dropoff)
+		}
 		r := &Rider{
 			Order:      o,
 			Status:     WaitingStatus,
-			TripCost:   e.cfg.Coster.Cost(o.Pickup, o.Dropoff),
+			TripCost:   trip,
 			DestRegion: e.cfg.Grid.Region(e.cfg.Grid.Bounds().Clamp(o.Dropoff)),
+		}
+		if e.scen != nil && e.scen.cancel != nil {
+			if at, ok := e.scen.cancel.CancelTime(e.scen.rng.Float64(), o.PostTime, o.Deadline); ok {
+				r.CancelAt = at
+			}
 		}
 		e.riders = append(e.riders, r)
 		e.waiting = append(e.waiting, r)
+		if e.byID != nil {
+			e.byID[o.ID] = r
+		}
 		if !e.sized {
 			e.metrics.TotalOrders++
 		}
+	}
+}
+
+// processCancels applies rider-initiated cancellations at time now:
+// explicit requests from the source's cancellation feed first (in
+// request order), then the scenario's stochastic abandonments (in
+// waiting order). Canceled riders leave the waiting set in one
+// compaction pass. Explicit cancels for orders the engine has not
+// admitted yet are retried each batch until the order arrives; cancels
+// for already-terminal orders are dropped.
+func (e *Engine) processCancels(now float64) {
+	canceled := false
+	if e.cancelSrc != nil {
+		ids := e.cancelSrc.PollCancels()
+		if len(e.pendingCancels) > 0 {
+			ids = append(e.pendingCancels, ids...)
+			e.pendingCancels = nil
+		}
+		for _, id := range ids {
+			r, ok := e.byID[id]
+			if !ok {
+				// Not admitted yet: the order is still buffered in the
+				// source, so retry once it lands — unless the source is
+				// done, in which case the id can never arrive (a caller
+				// typo) and the request is dropped instead of being
+				// retried every batch forever.
+				if !e.srcDone {
+					e.pendingCancels = append(e.pendingCancels, id)
+				}
+				continue
+			}
+			if r.Status != WaitingStatus {
+				continue // already assigned, expired or canceled
+			}
+			e.cancelRider(now, r, true)
+			canceled = true
+		}
+	}
+	if e.scen != nil && e.scen.cancel != nil {
+		for _, r := range e.waiting {
+			if r.Status == WaitingStatus && r.CancelAt > 0 && r.CancelAt <= now {
+				e.cancelRider(now, r, false)
+				canceled = true
+			}
+		}
+	}
+	if canceled {
+		e.compactWaiting()
+	}
+}
+
+// compactWaiting removes every no-longer-waiting rider from the waiting
+// set in one stable pass, preserving admission order.
+func (e *Engine) compactWaiting() {
+	kept := e.waiting[:0]
+	for _, r := range e.waiting {
+		if r.Status == WaitingStatus {
+			kept = append(kept, r)
+		}
+	}
+	e.waiting = kept
+}
+
+// cancelRider commits one rider-initiated cancellation; the caller
+// compacts the waiting set.
+func (e *Engine) cancelRider(now float64, r *Rider, explicit bool) {
+	r.Status = CanceledStatus
+	e.metrics.Canceled++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnCanceled(CanceledEvent{Now: now, Rider: r, Explicit: explicit})
 	}
 }
 
@@ -676,6 +834,7 @@ func (e *Engine) countFutureRejoins(now float64) []int {
 func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) error {
 	usedR := make(map[int32]bool, len(assignments))
 	usedD := make(map[int32]bool, len(assignments))
+	changed := false
 	for _, a := range assignments {
 		if a.R < 0 || int(a.R) >= len(ctx.Riders) || a.D < 0 || int(a.D) >= len(ctx.Drivers) {
 			return fmt.Errorf("sim: assignment (%d,%d) out of range", a.R, a.D)
@@ -711,6 +870,34 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 		}
 		trip := rider.TripCost
 
+		// Driver decline: the scenario may reject the commitment. The
+		// rider stays waiting with its deadline unchanged (re-dispatched
+		// next batch); the driver cools down unassignable.
+		if e.scen != nil && e.scen.declines() {
+			e.declineAssignment(now, rider, drv.ID)
+			continue
+		}
+
+		// Travel noise: dispatch planned on the estimates above; the
+		// committed trip realizes perturbed durations, and the
+		// estimate-vs-realized gap goes to the error ledger.
+		realPickup, realTrip := pickupCost, trip
+		if e.scen != nil && e.scen.cfg.TravelNoise > 0 {
+			if !a.IgnorePickup {
+				realPickup = e.scen.perturb(pickupCost)
+			}
+			realTrip = e.scen.perturb(trip)
+			e.metrics.TravelRecords = append(e.metrics.TravelRecords, TravelRecord{
+				Order:          rider.Order.ID,
+				Driver:         drv.ID,
+				At:             now,
+				PickupEstimate: pickupCost,
+				PickupRealized: realPickup,
+				TripEstimate:   trip,
+				TripRealized:   realTrip,
+			})
+		}
+
 		// Close the driver's idle ledger entry.
 		if rec, ok := e.openIdle[drv.ID]; ok {
 			e.metrics.IdleRecords[rec].Realized = now - e.drivers[drv.ID].FreeAt
@@ -720,8 +907,8 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 		// Commit.
 		rider.Status = AssignedStatus
 		rider.Driver = drv.ID
-		rider.PickedAt = now + pickupCost
-		freeAt := now + pickupCost + trip
+		rider.PickedAt = now + realPickup
+		freeAt := now + realPickup + realTrip
 		d := &e.drivers[drv.ID]
 		d.State = Busy
 		d.Pos = rider.Order.Dropoff
@@ -732,30 +919,51 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 
 		e.insertFutureRejoin(rider.DestRegion, freeAt)
 
-		e.metrics.Revenue += trip
-		e.metrics.PickupSeconds += pickupCost
+		e.metrics.Revenue += realTrip
+		e.metrics.PickupSeconds += realPickup
 		e.metrics.Served++
+		changed = true
 
 		if e.cfg.Observer != nil {
 			e.cfg.Observer.OnAssigned(AssignedEvent{
 				Now:        now,
 				Rider:      rider,
 				Driver:     drv.ID,
-				PickupCost: pickupCost,
-				Revenue:    trip,
+				PickupCost: realPickup,
+				Revenue:    realTrip,
 				FreeAt:     freeAt,
 			})
 		}
-
-		// Remove the rider from the waiting set.
-		for i, w := range e.waiting {
-			if w == rider {
-				e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
-				break
-			}
-		}
+	}
+	// One mark-and-compact pass removes every assigned rider from the
+	// waiting set: the loop above marked them AssignedStatus, so a
+	// single stable sweep replaces the per-assignment O(n) deletion
+	// that made large-backlog batches quadratic.
+	if changed {
+		e.compactWaiting()
 	}
 	return nil
+}
+
+// declineAssignment commits one driver decline: the rider keeps
+// waiting, the driver goes on cooldown — busy in place, rejoining
+// through the normal completion path (which opens a fresh idle-ledger
+// entry). The driver's running idle entry is censored like a
+// reposition cruise: cooldown is not service and not idle-for-ledger
+// time.
+func (e *Engine) declineAssignment(now float64, rider *Rider, id DriverID) {
+	d := &e.drivers[id]
+	delete(e.openIdle, id)
+	retryAt := now + e.scen.cooldown()
+	d.State = Busy
+	d.FreeAt = retryAt
+	e.idx.Remove(int32(id))
+	heap.Push(&e.busy, completion{freeAt: retryAt, driver: id})
+	e.insertFutureRejoin(e.cfg.Grid.Region(e.cfg.Grid.Bounds().Clamp(d.Pos)), retryAt)
+	e.metrics.Declines++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnDeclined(DeclinedEvent{Now: now, Rider: rider, Driver: id, RetryAt: retryAt})
+	}
 }
 
 func (e *Engine) insertFutureRejoin(region geo.RegionID, at float64) {

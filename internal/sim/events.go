@@ -16,6 +16,16 @@ type Observer interface {
 	OnAssigned(e AssignedEvent)
 	// OnExpired fires when a waiting rider reneges past its deadline.
 	OnExpired(e ExpiredEvent)
+	// OnCanceled fires when a waiting rider cancels its order before
+	// assignment — stochastically via the scenario's patience model, or
+	// explicitly through a CancelableSource (ServeHandle.Cancel, the
+	// gateway's DELETE /v1/orders/{id}).
+	OnCanceled(e CanceledEvent)
+	// OnDeclined fires when a committed assignment is declined by the
+	// driver under the scenario's decline model: the rider returns to
+	// the waiting pool (deadline unchanged) and the driver takes a
+	// cooldown before rejoining.
+	OnDeclined(e DeclinedEvent)
 	// OnRepositioned fires when an idle driver starts a cruise proposed
 	// by the configured Repositioner.
 	OnRepositioned(e RepositionedEvent)
@@ -43,6 +53,25 @@ type AssignedEvent struct {
 type ExpiredEvent struct {
 	Now   float64
 	Rider *Rider
+}
+
+// CanceledEvent records one rider-initiated cancellation of a waiting
+// order. Explicit marks cancels requested through a CancelableSource
+// (as opposed to the scenario's stochastic patience model).
+type CanceledEvent struct {
+	Now      float64
+	Rider    *Rider
+	Explicit bool
+}
+
+// DeclinedEvent records one driver declining a committed assignment.
+// The rider stays in the waiting pool; the driver is unassignable until
+// RetryAt.
+type DeclinedEvent struct {
+	Now     float64
+	Rider   *Rider
+	Driver  DriverID
+	RetryAt float64 // when the declining driver's cooldown ends
 }
 
 // RepositionedEvent records one idle-driver cruise.
@@ -79,6 +108,20 @@ func (os Observers) OnExpired(e ExpiredEvent) {
 	}
 }
 
+// OnCanceled implements Observer.
+func (os Observers) OnCanceled(e CanceledEvent) {
+	for _, o := range os {
+		o.OnCanceled(e)
+	}
+}
+
+// OnDeclined implements Observer.
+func (os Observers) OnDeclined(e DeclinedEvent) {
+	for _, o := range os {
+		o.OnDeclined(e)
+	}
+}
+
 // OnRepositioned implements Observer.
 func (os Observers) OnRepositioned(e RepositionedEvent) {
 	for _, o := range os {
@@ -92,6 +135,8 @@ type ObserverFuncs struct {
 	BatchStart   func(BatchStartEvent)
 	Assigned     func(AssignedEvent)
 	Expired      func(ExpiredEvent)
+	Canceled     func(CanceledEvent)
+	Declined     func(DeclinedEvent)
 	Repositioned func(RepositionedEvent)
 }
 
@@ -113,6 +158,20 @@ func (f ObserverFuncs) OnAssigned(e AssignedEvent) {
 func (f ObserverFuncs) OnExpired(e ExpiredEvent) {
 	if f.Expired != nil {
 		f.Expired(e)
+	}
+}
+
+// OnCanceled implements Observer.
+func (f ObserverFuncs) OnCanceled(e CanceledEvent) {
+	if f.Canceled != nil {
+		f.Canceled(e)
+	}
+}
+
+// OnDeclined implements Observer.
+func (f ObserverFuncs) OnDeclined(e DeclinedEvent) {
+	if f.Declined != nil {
+		f.Declined(e)
 	}
 }
 

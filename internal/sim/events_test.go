@@ -12,6 +12,7 @@ import (
 // final Metrics.
 type recordingObserver struct {
 	batches, assigned, expired, repositioned int
+	canceled, declined                       int
 	revenue                                  float64
 	lastNow                                  float64
 }
@@ -28,6 +29,8 @@ func (r *recordingObserver) OnAssigned(e AssignedEvent) {
 	r.revenue += e.Revenue
 }
 func (r *recordingObserver) OnExpired(e ExpiredEvent)           { r.expired++ }
+func (r *recordingObserver) OnCanceled(e CanceledEvent)         { r.canceled++ }
+func (r *recordingObserver) OnDeclined(e DeclinedEvent)         { r.declined++ }
 func (r *recordingObserver) OnRepositioned(e RepositionedEvent) { r.repositioned++ }
 
 func TestObserverEventsMatchMetrics(t *testing.T) {

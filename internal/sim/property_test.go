@@ -42,25 +42,33 @@ func randomScenario(rng *rand.Rand) ([]trace.Order, []geo.Point) {
 func checkRunInvariants(t *testing.T, e *Engine, m *Metrics) {
 	t.Helper()
 	// Terminal accounting.
-	if m.Served+m.Reneged != m.TotalOrders {
-		t.Fatalf("served %d + reneged %d != total %d", m.Served, m.Reneged, m.TotalOrders)
+	if m.Served+m.Reneged+m.Canceled != m.TotalOrders {
+		t.Fatalf("served %d + reneged %d + canceled %d != total %d",
+			m.Served, m.Reneged, m.Canceled, m.TotalOrders)
 	}
+	// Travel noise decouples realized times from the planned estimates:
+	// revenue then sums realized trips and a committed pickup may land
+	// past the deadline (the late-pickup risk the scenario models), so
+	// those two checks only hold noise-free.
+	noisy := len(m.TravelRecords) > 0
 	// Revenue equals the sum of served trip costs, and every served
 	// rider was picked up before its deadline.
 	revenue := 0.0
-	served := 0
+	served, canceled := 0, 0
 	for _, r := range e.Riders() {
 		switch r.Status {
 		case AssignedStatus:
 			served++
 			revenue += r.TripCost
-			if r.PickedAt > r.Order.Deadline+1e-9 {
+			if !noisy && r.PickedAt > r.Order.Deadline+1e-9 {
 				t.Fatalf("rider %d picked at %.1f after deadline %.1f",
 					r.Order.ID, r.PickedAt, r.Order.Deadline)
 			}
 			if r.PickedAt < r.Order.PostTime {
 				t.Fatalf("rider %d picked before posting", r.Order.ID)
 			}
+		case CanceledStatus:
+			canceled++
 		case WaitingStatus:
 			t.Fatalf("rider %d still waiting after the horizon", r.Order.ID)
 		}
@@ -68,7 +76,10 @@ func checkRunInvariants(t *testing.T, e *Engine, m *Metrics) {
 	if served != m.Served {
 		t.Fatalf("rider statuses count %d served, metrics say %d", served, m.Served)
 	}
-	if math.Abs(revenue-m.Revenue) > 1e-6 {
+	if canceled != m.Canceled {
+		t.Fatalf("rider statuses count %d canceled, metrics say %d", canceled, m.Canceled)
+	}
+	if !noisy && math.Abs(revenue-m.Revenue) > 1e-6 {
 		t.Fatalf("revenue %v != sum of served trips %v", m.Revenue, revenue)
 	}
 	// Per-driver service counts sum to the served total.

@@ -28,6 +28,19 @@ type OrderSource interface {
 	Poll(now float64) (ready []trace.Order, done bool)
 }
 
+// CancelableSource is an optional OrderSource extension for sources
+// that carry rider-initiated cancellation requests alongside orders.
+// PollCancels is called once per batch from the engine goroutine,
+// immediately after Poll's admissions are in, and returns the order ids
+// whose riders asked to cancel since the last call, in request order. A
+// cancel for an order the engine has not admitted yet is held by the
+// engine and applied when the order arrives; a cancel for an
+// already-terminal order is dropped.
+type CancelableSource interface {
+	OrderSource
+	PollCancels() []trace.OrderID
+}
+
 // SizedSource is an optional OrderSource extension for sources that know
 // their total order count upfront. The engine uses it to report
 // Metrics.TotalOrders for the whole trace rather than only the admitted
@@ -89,10 +102,11 @@ func (s *SliceSource) TotalOrders() int { return len(s.orders) }
 // Deterministic feeds can instead gate submissions on the engine clock
 // from an Observer callback (see examples/livedispatch).
 type ChannelSource struct {
-	mu     sync.Mutex
-	heap   submissionHeap
-	seq    int64
-	closed bool
+	mu      sync.Mutex
+	heap    submissionHeap
+	seq     int64
+	closed  bool
+	cancels []trace.OrderID
 }
 
 // NewChannelSource returns an empty, open source.
@@ -121,6 +135,27 @@ func (c *ChannelSource) Close() {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+}
+
+// Cancel stages one rider-initiated cancellation for the engine to
+// apply at its next batch. Safe for concurrent use, idempotent in
+// effect (the engine drops cancels for terminal orders), and accepted
+// even after Close — already-submitted orders may still be canceled
+// while the stream drains.
+func (c *ChannelSource) Cancel(id trace.OrderID) {
+	c.mu.Lock()
+	c.cancels = append(c.cancels, id)
+	c.mu.Unlock()
+}
+
+// PollCancels implements CancelableSource: it drains the staged
+// cancellation requests in submission order.
+func (c *ChannelSource) PollCancels() []trace.OrderID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.cancels
+	c.cancels = nil
+	return ids
 }
 
 // Pending reports how many submitted orders have not been released yet.

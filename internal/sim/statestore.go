@@ -18,6 +18,10 @@ const (
 	OrderPending  OrderState = "pending"
 	OrderAssigned OrderState = "assigned"
 	OrderExpired  OrderState = "expired"
+	// OrderCanceled marks a rider-initiated cancellation (patience
+	// hazard or explicit DELETE); the string matches the serve layer's
+	// OutcomeCanceledByRider so long-polls and reads agree.
+	OrderCanceled OrderState = "canceled_by_rider"
 )
 
 // OrderView is the queryable per-order state a StateStore folds out of
@@ -38,6 +42,11 @@ type OrderView struct {
 	Revenue    float64  `json:"revenue,omitempty"`
 	// ExpiredAt is the batch time the rider reneged (expired-only).
 	ExpiredAt float64 `json:"expired_at,omitempty"`
+	// CanceledAt is the batch time the rider canceled (canceled-only).
+	CanceledAt float64 `json:"canceled_at,omitempty"`
+	// Declines counts driver declines this order survived before its
+	// terminal state.
+	Declines int `json:"declines,omitempty"`
 }
 
 // DriverView is the queryable per-driver state: assignment counts and
@@ -46,6 +55,7 @@ type OrderView struct {
 type DriverView struct {
 	ID          DriverID  `json:"id"`
 	Served      int       `json:"served"`
+	Declines    int       `json:"declines"`
 	Repositions int       `json:"repositions"`
 	Busy        bool      `json:"busy"` // heading to a pickup, trip, or cruise
 	Pos         geo.Point `json:"pos"`  // last known (destination while busy)
@@ -62,10 +72,14 @@ type StoreStats struct {
 	// Waiting and Available are the latest batch's queue depths.
 	Waiting   int `json:"waiting"`
 	Available int `json:"available"`
-	// Terminal-outcome counters.
+	// Terminal-outcome counters. Canceled counts rider-initiated
+	// cancellations; Declined counts driver-declined assignments
+	// (non-terminal — the order may still end assigned).
 	Submitted    int `json:"submitted"`
 	Assigned     int `json:"assigned"`
 	Expired      int `json:"expired"`
+	Canceled     int `json:"canceled"`
+	Declined     int `json:"declined"`
 	Repositioned int `json:"repositioned"`
 	// Batch cycle wall-clock timings (milliseconds): the gap between
 	// consecutive batch starts, i.e. dispatch work plus pacing sleep.
@@ -211,6 +225,34 @@ func (s *StateStore) OnExpired(e ExpiredEvent) {
 		v.ExpiredAt = e.Now
 		s.stats.Expired++
 	}
+}
+
+// OnCanceled implements Observer.
+func (s *StateStore) OnCanceled(e CanceledEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.order(e.Rider.Order.ID)
+	if v.State == OrderPending {
+		v.State = OrderCanceled
+		v.PostTime, v.Deadline = e.Rider.Order.PostTime, e.Rider.Order.Deadline
+		v.Pickup, v.Dropoff = e.Rider.Order.Pickup, e.Rider.Order.Dropoff
+		v.CanceledAt = e.Now
+		s.stats.Canceled++
+	}
+}
+
+// OnDeclined implements Observer.
+func (s *StateStore) OnDeclined(e DeclinedEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.order(e.Rider.Order.ID)
+	v.Declines++
+	d := s.driver(e.Driver)
+	d.Declines++
+	d.Busy = true
+	d.FreeAt = e.RetryAt
+	d.LastEventAt = e.Now
+	s.stats.Declined++
 }
 
 // OnRepositioned implements Observer.

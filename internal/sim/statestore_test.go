@@ -85,6 +85,40 @@ func TestStateStoreEventBeforeTrackMerges(t *testing.T) {
 	}
 }
 
+func TestStateStoreCancelAndDeclineFold(t *testing.T) {
+	s := NewStateStore(2)
+	o := storeOrder(3)
+	s.TrackSubmitted(o)
+	rider := &Rider{Order: o}
+
+	// A decline is non-terminal: the order stays pending with the
+	// decline on its record, and the driver cools down busy-in-place.
+	s.OnDeclined(DeclinedEvent{Now: 12, Rider: rider, Driver: 1, RetryAt: 72})
+	v, _ := s.Order(3)
+	if v.State != OrderPending || v.Declines != 1 {
+		t.Fatalf("declined view = %+v", v)
+	}
+	d := s.Drivers()
+	if d[1].Declines != 1 || !d[1].Busy || d[1].FreeAt != 72 {
+		t.Fatalf("declining driver view = %+v", d[1])
+	}
+
+	// The rider then cancels: terminal, and a later expiry must not
+	// downgrade it.
+	s.OnCanceled(CanceledEvent{Now: 30, Rider: rider, Explicit: true})
+	v, _ = s.Order(3)
+	if v.State != OrderCanceled || v.CanceledAt != 30 {
+		t.Fatalf("canceled view = %+v", v)
+	}
+	s.OnExpired(ExpiredEvent{Now: 33, Rider: rider})
+	if v, _ = s.Order(3); v.State != OrderCanceled {
+		t.Fatalf("cancel downgraded to %v", v.State)
+	}
+	if st := s.Stats(); st.Canceled != 1 || st.Declined != 1 || st.Expired != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestStateStoreRepositionFolds(t *testing.T) {
 	s := NewStateStore(1)
 	s.OnRepositioned(RepositionedEvent{

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"mrvd/internal/geo"
 	"mrvd/internal/trace"
 )
@@ -54,6 +56,10 @@ const (
 	WaitingStatus RiderStatus = iota
 	AssignedStatus
 	RenegedStatus
+	// CanceledStatus marks a rider that canceled its order before
+	// assignment — stochastically through the scenario's patience model
+	// or explicitly through a CancelableSource.
+	CanceledStatus
 )
 
 // Rider wraps an order with its runtime status and per-order constants
@@ -66,10 +72,16 @@ type Rider struct {
 	TripCost float64
 	// DestRegion is the region of the dropoff point.
 	DestRegion geo.RegionID
-	// PickedAt is when the assigned driver reaches the pickup point.
+	// PickedAt is when the assigned driver reaches the pickup point
+	// (realized time: under travel noise it may differ from the
+	// estimate the dispatch decision was planned with).
 	PickedAt float64
 	// Driver is the assigned driver, valid when Status == AssignedStatus.
 	Driver DriverID
+	// CancelAt, when positive, is the time this rider will abandon the
+	// order if still waiting — drawn at admission from the scenario's
+	// patience model. 0 means the rider waits to the deadline.
+	CancelAt float64
 }
 
 // Pair is one valid rider-and-driver dispatching pair of Definition 3,
@@ -91,6 +103,29 @@ type Assignment struct {
 	IgnorePickup bool
 }
 
+// TravelRecord pairs one noisy assignment's estimated travel durations
+// with the realized ones — the estimate-vs-realized error ledger of the
+// stochastic-travel-time scenario. Records are only appended while
+// ScenarioConfig.TravelNoise is active.
+type TravelRecord struct {
+	Order  trace.OrderID
+	Driver DriverID
+	// At is the batch time of the assignment.
+	At float64
+	// PickupEstimate/TripEstimate are the coster's planned durations;
+	// PickupRealized/TripRealized are what the trip actually took.
+	PickupEstimate float64
+	PickupRealized float64
+	TripEstimate   float64
+	TripRealized   float64
+}
+
+// AbsError returns the total absolute estimate error of the record in
+// seconds (pickup plus trip).
+func (r TravelRecord) AbsError() float64 {
+	return math.Abs(r.PickupRealized-r.PickupEstimate) + math.Abs(r.TripRealized-r.TripEstimate)
+}
+
 // IdleRecord pairs the model-estimated idle time at a driver's rejoin
 // with the idle time that actually elapsed before its next assignment —
 // one observation of Table 3.
@@ -107,9 +142,15 @@ type Metrics struct {
 	// Revenue is the platform total: alpha * sum of served trip costs
 	// (alpha = 1, Section 6.3, so revenue equals total serving seconds).
 	Revenue float64
-	// Served and Reneged count terminal rider outcomes.
-	Served  int
-	Reneged int
+	// Served, Reneged and Canceled count terminal rider outcomes:
+	// assigned a driver, expired past the deadline, or canceled by the
+	// rider before assignment (scenario hazard or explicit cancel).
+	Served   int
+	Reneged  int
+	Canceled int
+	// Declines counts driver-declined assignments (non-terminal: the
+	// rider returns to the waiting pool and may still be served).
+	Declines int
 	// TotalOrders is the trace size.
 	TotalOrders int
 	// Batches is how many batch rounds ran.
@@ -118,7 +159,11 @@ type Metrics struct {
 	BatchSeconds []float64
 	// IdleRecords is the per-rejoin idle ledger (estimate vs realized).
 	IdleRecords []IdleRecord
-	// PickupSeconds sums driver travel to pickups (deadhead time).
+	// TravelRecords is the estimate-vs-realized travel-time ledger,
+	// one record per assignment committed under travel noise.
+	TravelRecords []TravelRecord
+	// PickupSeconds sums driver travel to pickups (deadhead time,
+	// realized under travel noise).
 	PickupSeconds float64
 }
 
@@ -131,6 +176,8 @@ type Summary struct {
 	Revenue       float64
 	Served        int
 	Reneged       int
+	Canceled      int
+	Declines      int
 	TotalOrders   int
 	Batches       int
 	PickupSeconds float64
@@ -138,6 +185,10 @@ type Summary struct {
 	// their realized idle times.
 	IdleClosed  int
 	IdleSeconds float64
+	// TravelSamples counts estimate-vs-realized travel records;
+	// TravelAbsErrSeconds sums their absolute errors.
+	TravelSamples       int
+	TravelAbsErrSeconds float64
 }
 
 // Summary projects the run's deterministic outcomes.
@@ -146,6 +197,8 @@ func (m *Metrics) Summary() Summary {
 		Revenue:       m.Revenue,
 		Served:        m.Served,
 		Reneged:       m.Reneged,
+		Canceled:      m.Canceled,
+		Declines:      m.Declines,
 		TotalOrders:   m.TotalOrders,
 		Batches:       m.Batches,
 		PickupSeconds: m.PickupSeconds,
@@ -154,7 +207,21 @@ func (m *Metrics) Summary() Summary {
 		s.IdleClosed++
 		s.IdleSeconds += rec.Realized
 	}
+	for _, rec := range m.TravelRecords {
+		s.TravelSamples++
+		s.TravelAbsErrSeconds += rec.AbsError()
+	}
 	return s
+}
+
+// MeanAbsTravelErrorSeconds returns the mean absolute
+// estimate-vs-realized travel error over the noise ledger, 0 without
+// samples.
+func (s Summary) MeanAbsTravelErrorSeconds() float64 {
+	if s.TravelSamples == 0 {
+		return 0
+	}
+	return s.TravelAbsErrSeconds / float64(s.TravelSamples)
 }
 
 // MeanIdleSeconds returns the mean realized idle time over closed

@@ -1,0 +1,45 @@
+package workload
+
+import "math"
+
+// Patience is the rider-abandonment model of the disruption layer: a
+// constant-hazard (exponential) clock over each order's deadline slack.
+// The paper's queueing model assumes every waiting rider holds out to
+// its pickup deadline; real riders close the app early. Patience keeps
+// the modelling assumption as the limiting case (AbandonRate 0) while
+// letting scenario runs inject early cancellations whose probability is
+// exact by construction.
+//
+// For an order posted at t with deadline tau, the slack is tau - t and
+// the hazard rate is h = -ln(1 - AbandonRate) / slack, so that
+// P(cancel before tau) = 1 - exp(-h * slack) = AbandonRate exactly,
+// independent of how long or short the rider's patience window is.
+// Cancellation times are drawn by inverse-CDF from a single uniform, so
+// one draw decides both whether the rider abandons and when.
+type Patience struct {
+	// AbandonRate is the probability a waiting rider cancels strictly
+	// before its deadline. 0 disables abandonment (every rider waits to
+	// the deadline, the paper's assumption); 1 means every rider with
+	// positive slack abandons early.
+	AbandonRate float64
+}
+
+// CancelTime maps one uniform draw u in [0,1) to the rider's
+// abandonment time for an order posted at post with the given deadline.
+// ok=false means the rider holds out to the deadline (no cancellation).
+// When ok, the returned time lies in [post, deadline).
+func (p Patience) CancelTime(u, post, deadline float64) (float64, bool) {
+	slack := deadline - post
+	if p.AbandonRate <= 0 || slack <= 0 || u >= p.AbandonRate {
+		return 0, false
+	}
+	if p.AbandonRate >= 1 {
+		// Degenerate hazard: everyone abandons; spread cancellation
+		// times uniformly-by-hazard via the raw draw.
+		return post + u*slack, true
+	}
+	// Inverse CDF of Exp(h) with h = -ln(1-rate)/slack. u < rate
+	// guarantees the draw lands strictly before the deadline.
+	x := slack * math.Log1p(-u) / math.Log1p(-p.AbandonRate)
+	return post + x, true
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPatienceCancelTime(t *testing.T) {
+	p := Patience{AbandonRate: 0.3}
+
+	// The single uniform decides both whether and when: u < rate
+	// cancels strictly inside the window, u >= rate holds out.
+	if at, ok := p.CancelTime(0.1, 100, 400); !ok || at < 100 || at >= 400 {
+		t.Fatalf("u=0.1: at=%v ok=%v, want a cancel in [100,400)", at, ok)
+	}
+	if _, ok := p.CancelTime(0.3, 100, 400); ok {
+		t.Fatal("u == rate must hold out")
+	}
+	if _, ok := p.CancelTime(0.95, 100, 400); ok {
+		t.Fatal("u=0.95 must hold out at rate 0.3")
+	}
+
+	// Degenerate inputs never cancel.
+	if _, ok := (Patience{}).CancelTime(0.0, 100, 400); ok {
+		t.Fatal("zero rate canceled")
+	}
+	if _, ok := p.CancelTime(0.1, 400, 400); ok {
+		t.Fatal("zero slack canceled")
+	}
+
+	// Rate 1: everyone with slack abandons, spread across the window.
+	one := Patience{AbandonRate: 1}
+	if at, ok := one.CancelTime(0.5, 0, 200); !ok || at != 100 {
+		t.Fatalf("rate 1, u=0.5: at=%v ok=%v, want 100", at, ok)
+	}
+
+	// Monotone in u: a larger draw abandons later.
+	a, _ := p.CancelTime(0.05, 0, 300)
+	b, _ := p.CancelTime(0.25, 0, 300)
+	if !(a < b) {
+		t.Fatalf("cancel time not monotone in u: %v !< %v", a, b)
+	}
+}
+
+// TestPatienceAbandonProbabilityExact: by construction the abandonment
+// probability equals AbandonRate exactly — P(u < rate) — regardless of
+// the slack, so empirical rates converge to it.
+func TestPatienceAbandonProbabilityExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		p := Patience{AbandonRate: rate}
+		for _, slack := range []float64{10, 600, 86400} {
+			const n = 20000
+			hits := 0
+			for i := 0; i < n; i++ {
+				if _, ok := p.CancelTime(rng.Float64(), 0, slack); ok {
+					hits++
+				}
+			}
+			got := float64(hits) / n
+			if math.Abs(got-rate) > 0.02 {
+				t.Errorf("rate %v slack %v: empirical abandonment %.3f", rate, slack, got)
+			}
+		}
+	}
+}

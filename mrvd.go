@@ -29,7 +29,13 @@
 // admitting each order to the shard owning its pickup region, a
 // configurable frontier policy (WithBoundaryPolicy), and per-shard
 // stats on the gateway's /v1/stats; WithShards(1) is contractually
-// identical to the unsharded engine.
+// identical to the unsharded engine. WithScenario(cfg) turns on the
+// disruption layer — stochastic rider cancellations, driver declines
+// with cooldown, and noisy realized travel times with an
+// estimate-vs-realized error ledger — while riders can always cancel
+// explicitly through ServeHandle.Cancel or the gateway's DELETE
+// /v1/orders/{id}; a zero-valued ScenarioConfig keeps the engine
+// byte-identical to a scenario-free run.
 //
 // See examples/ for runnable scenarios (examples/livedispatch streams
 // orders into a running engine, examples/httpserve drives the HTTP
@@ -106,6 +112,25 @@ type (
 	Repositioner = sim.Repositioner
 )
 
+// Disruption-scenario types (see WithScenario).
+type (
+	// ScenarioConfig gates the engine's disruption layer: stochastic
+	// rider cancellations, driver declines with cooldown, and seeded
+	// travel-time noise. The zero value disables all three and keeps
+	// runs byte-identical to a scenario-free engine.
+	ScenarioConfig = sim.ScenarioConfig
+	// CancelModel maps a uniform draw to a rider's abandonment time;
+	// the default is the workload package's constant-hazard Patience.
+	CancelModel = sim.CancelModel
+	// RiderPatience is the default constant-hazard abandonment model:
+	// P(cancel before deadline) is exact per order, with the hazard
+	// drawn from the order's deadline slack.
+	RiderPatience = workload.Patience
+	// TravelRecord is one estimate-vs-realized travel-time observation
+	// of the noise scenario (Metrics.TravelRecords).
+	TravelRecord = sim.TravelRecord
+)
+
 // Streaming order sources (see Service.Serve).
 type (
 	// OrderSource feeds orders to the engine incrementally.
@@ -125,11 +150,13 @@ type (
 	Observers = sim.Observers
 	// ObserverFuncs adapts free functions to Observer.
 	ObserverFuncs = sim.ObserverFuncs
-	// BatchStartEvent, AssignedEvent, ExpiredEvent and RepositionedEvent
-	// are the event payloads.
+	// BatchStartEvent, AssignedEvent, ExpiredEvent, CanceledEvent,
+	// DeclinedEvent and RepositionedEvent are the event payloads.
 	BatchStartEvent   = sim.BatchStartEvent
 	AssignedEvent     = sim.AssignedEvent
 	ExpiredEvent      = sim.ExpiredEvent
+	CanceledEvent     = sim.CanceledEvent
+	DeclinedEvent     = sim.DeclinedEvent
 	RepositionedEvent = sim.RepositionedEvent
 )
 

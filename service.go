@@ -179,6 +179,39 @@ func WithPace(factor float64) Option {
 	}
 }
 
+// WithScenario enables the disruption layer for every run and serve
+// session of the service: stochastic rider cancellations (CancelRate,
+// drawn from each order's deadline slack via the workload patience
+// model), driver declines with cooldown (DeclineProb,
+// DeclineCooldown), and seeded travel-time noise (TravelNoise) whose
+// estimate-vs-realized gap lands in Metrics.TravelRecords. The zero
+// config is exactly equivalent to omitting the option — the engine
+// stays byte-identical to a scenario-free run — and a 1-shard sharded
+// run with scenarios enabled reproduces the unsharded engine event for
+// event. Explicit cancels (ServeHandle.Cancel, the gateway's DELETE
+// /v1/orders/{id}) work with or without this option.
+func WithScenario(sc ScenarioConfig) Option {
+	return func(s *Service) {
+		if sc.CancelRate < 0 || sc.CancelRate > 1 || math.IsNaN(sc.CancelRate) {
+			s.failf("WithScenario: cancel rate must be in [0,1], got %v", sc.CancelRate)
+			return
+		}
+		if sc.DeclineProb < 0 || sc.DeclineProb > 1 || math.IsNaN(sc.DeclineProb) {
+			s.failf("WithScenario: decline probability must be in [0,1], got %v", sc.DeclineProb)
+			return
+		}
+		if sc.DeclineCooldown < 0 || math.IsNaN(sc.DeclineCooldown) {
+			s.failf("WithScenario: decline cooldown must be >= 0, got %v", sc.DeclineCooldown)
+			return
+		}
+		if sc.TravelNoise < 0 || math.IsNaN(sc.TravelNoise) || math.IsInf(sc.TravelNoise, 0) {
+			s.failf("WithScenario: travel noise must be a finite value >= 0, got %v", sc.TravelNoise)
+			return
+		}
+		s.opts.Scenario = sc
+	}
+}
+
 // WithCandidateCap prices only the k nearest feasible drivers per
 // rider instead of every driver in the rider's patience radius — the
 // pre-filter that bounds per-order matching work for very large
@@ -453,6 +486,10 @@ const (
 	// OutcomeCanceled: the serve session ended (context cancellation,
 	// horizon, or drain) before the order reached a terminal state.
 	OutcomeCanceled
+	// OutcomeCanceledByRider: the rider canceled the order before
+	// assignment — an explicit ServeHandle.Cancel / DELETE
+	// /v1/orders/{id}, or the scenario's stochastic patience model.
+	OutcomeCanceledByRider
 )
 
 // String names the status for logs and JSON payloads.
@@ -464,6 +501,8 @@ func (s OutcomeStatus) String() string {
 		return "expired"
 	case OutcomeCanceled:
 		return "canceled"
+	case OutcomeCanceledByRider:
+		return "canceled_by_rider"
 	default:
 		return "pending"
 	}
@@ -484,6 +523,9 @@ type Outcome struct {
 	Revenue    float64 // trip cost, the order's revenue at alpha=1
 	// ExpiredAt is the batch time the rider reneged (expired-only).
 	ExpiredAt float64
+	// CanceledAt is the batch time a rider-initiated cancellation was
+	// applied (canceled_by_rider only).
+	CanceledAt float64
 }
 
 // Submit error conditions a caller dispatches on (errors.Is).
@@ -494,6 +536,9 @@ var (
 	// ErrQueueFull: the session's in-flight limit is reached; the
 	// caller should shed load (the HTTP gateway answers 429).
 	ErrQueueFull = errors.New("mrvd: in-flight order limit reached")
+	// ErrUnknownOrder: Cancel named an order this session does not have
+	// in flight — never submitted, or already resolved.
+	ErrUnknownOrder = errors.New("mrvd: order unknown or already resolved")
 )
 
 // ServeHandle is a live serve session started with Service.Start. It
@@ -613,6 +658,13 @@ func (h *ServeHandle) observer() Observer {
 				ExpiredAt: e.Now,
 			})
 		},
+		Canceled: func(e CanceledEvent) {
+			h.resolve(e.Rider.Order.ID, Outcome{
+				Order:      e.Rider.Order.ID,
+				Status:     OutcomeCanceledByRider,
+				CanceledAt: e.Now,
+			})
+		},
 	}
 }
 
@@ -682,6 +734,30 @@ func (h *ServeHandle) Submit(o Order) (OrderID, <-chan Outcome, error) {
 		return 0, nil, err
 	}
 	return id, ch, nil
+}
+
+// Cancel requests a rider-initiated cancellation of an in-flight order.
+// The cancel is applied by the engine at its next batch: if the order
+// is still waiting (or not yet admitted) its waiter resolves with
+// OutcomeCanceledByRider; if a driver was assigned in the meantime the
+// cancel loses the race and the waiter resolves assigned — exactly the
+// race a production platform adjudicates. Cancel itself only validates
+// that the order is in flight: ErrUnknownOrder for ids this session
+// never issued or already resolved, ErrServeFinished after the session
+// ends.
+func (h *ServeHandle) Cancel(id OrderID) error {
+	h.mu.Lock()
+	if h.waiters == nil {
+		h.mu.Unlock()
+		return ErrServeFinished
+	}
+	if _, ok := h.waiters[id]; !ok {
+		h.mu.Unlock()
+		return ErrUnknownOrder
+	}
+	h.mu.Unlock()
+	h.src.Cancel(id)
+	return nil
 }
 
 // Clock returns the engine time of the most recent batch — the stamp a
