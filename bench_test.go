@@ -10,6 +10,7 @@ import (
 	"mrvd/internal/dispatch"
 	"mrvd/internal/experiments"
 	"mrvd/internal/matching"
+	"mrvd/internal/pool"
 	"mrvd/internal/queueing"
 	"mrvd/internal/roadnet"
 	"mrvd/internal/shard"
@@ -443,4 +444,74 @@ func BenchmarkDispatchCycle(b *testing.B) {
 		g := roadnet.GenerateGridNetwork(roadnet.GridNetworkConfig{Seed: 1})
 		run(b, roadnet.NewGraphCoster(g))
 	})
+}
+
+// BenchmarkPooledDispatch measures what the pooling subsystem costs and
+// buys at dispatch time: the same peak hour of a 28K-order day at 200
+// drivers under the POOL dispatcher, with pooling off, at capacity 2,
+// and at capacity 4. The Off case asserts the zero-overhead contract
+// behaviorally — a zero pool.Config must reproduce the pooling-free
+// engine byte-for-byte — and the committed BENCH_pool.json baseline
+// tracks the capacity-2/-4 timing ratios (insertion candidates are
+// priced per busy driver on top of the solo pairing, so enabled runs
+// pay for the extra route-plan evaluations and serve more orders for
+// it).
+func BenchmarkPooledDispatch(b *testing.B) {
+	city := workload.NewCity(workload.CityConfig{OrdersPerDay: 28000, Seed: 31})
+	rng := rand.New(rand.NewSource(9))
+	day := city.GenerateDay(0, rng)
+	const peakStart, horizon = 25200.0, 3600.0
+	var orders []trace.Order
+	for _, o := range day {
+		if o.PostTime >= peakStart && o.PostTime < peakStart+horizon {
+			o.PostTime -= peakStart
+			o.Deadline -= peakStart
+			orders = append(orders, o)
+		}
+	}
+	starts := city.InitialDrivers(200, day, rng)
+	admitted := len(orders)
+
+	run := func(b *testing.B, pc pool.Config) sim.Summary {
+		cfg := sim.Config{
+			Grid: city.Grid(), Delta: 20, TC: 1200, Horizon: horizon,
+			CandidateCap: 16, Pooling: pc,
+		}
+		m, err := sim.New(cfg, orders, starts).Run(context.Background(), dispatch.POOL{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m.Summary()
+	}
+
+	// The reference run the Off case must reproduce byte-for-byte.
+	baseline := run(b, pool.Config{})
+
+	b.Run("Off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got := run(b, pool.Config{Capacity: 1, MaxDetourSeconds: 300})
+			if got != baseline {
+				b.Fatalf("pooling-off run diverged from the pooling-free engine:\n  off:  %+v\n  base: %+v",
+					got, baseline)
+			}
+		}
+		b.ReportMetric(float64(admitted)*float64(b.N)/b.Elapsed().Seconds(), "orders/sec")
+	})
+	for _, capacity := range []int{2, 4} {
+		b.Run(fmt.Sprintf("Capacity%d", capacity), func(b *testing.B) {
+			b.ReportAllocs()
+			var got sim.Summary
+			for i := 0; i < b.N; i++ {
+				got = run(b, pool.Config{Capacity: capacity, MaxDetourSeconds: 300})
+			}
+			if got.SharedServed == 0 {
+				b.Fatalf("pooling inactive under load: %+v", got)
+			}
+			if got.Served <= baseline.Served {
+				b.Fatalf("pooled peak served %d <= solo %d", got.Served, baseline.Served)
+			}
+			b.ReportMetric(float64(admitted)*float64(b.N)/b.Elapsed().Seconds(), "orders/sec")
+		})
+	}
 }

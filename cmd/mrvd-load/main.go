@@ -27,6 +27,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -55,6 +56,32 @@ func main() {
 	)
 	flag.Parse()
 
+	// Fail fast on nonsensical flags, joined, matching the
+	// mrvd.NewService validation convention.
+	var flagErrs []error
+	if *n <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-n must be positive, got %d", *n))
+	}
+	if *c <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-c must be positive, got %d", *c))
+	}
+	if *rate < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-rate must be >= 0, got %v", *rate))
+	}
+	if *patience <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-patience must be positive, got %v", *patience))
+	}
+	if *perDay <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-orders-per-day must be positive, got %d", *perDay))
+	}
+	if *cancelFrac < 0 || *cancelFrac > 1 {
+		flagErrs = append(flagErrs, fmt.Errorf("-cancel must be in [0,1], got %v", *cancelFrac))
+	}
+	if err := errors.Join(flagErrs...); err != nil {
+		fmt.Fprintf(os.Stderr, "mrvd-load: %v\n", err)
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -77,6 +104,10 @@ func main() {
 
 	fmt.Printf("orders:      %d in %.2fs (%.1f/s)\n", rep.Orders, rep.ElapsedSeconds, rep.Throughput)
 	fmt.Printf("assigned:    %d\n", rep.Assigned)
+	if rep.AssignedShared > 0 {
+		fmt.Printf("  shared:    %d (mean detour %.1fs)\n", rep.AssignedShared, rep.MeanDetourSeconds)
+		fmt.Printf("  solo:      %d\n", rep.AssignedSolo)
+	}
 	fmt.Printf("expired:     %d\n", rep.Expired)
 	fmt.Printf("canceled:    %d (rider-initiated DELETE mix)\n", rep.Canceled)
 	fmt.Printf("pending:     %d (wait timed out)\n", rep.Pending)

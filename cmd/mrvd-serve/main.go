@@ -12,6 +12,7 @@
 //	           [-patience 300] [-road] [-seed 1] [-shards 0] [-borrow]
 //	           [-cancel-rate 0] [-decline-prob 0] [-decline-cooldown 0]
 //	           [-travel-noise 0] [-scenario-seed 0]
+//	           [-pool-capacity 0] [-pool-detour 0]
 //
 // The scenario flags enable the disruption layer: -cancel-rate makes
 // waiting riders abandon stochastically (riders can always cancel
@@ -19,6 +20,12 @@
 // decline committed assignments and cool down, -travel-noise perturbs
 // realized travel times around the planner's estimates. All off by
 // default.
+//
+// -pool-capacity >= 2 enables shared rides (pair it with -alg POOL to
+// commit insertions): assignments and the SSE stream then carry
+// shared/detour fields, /v1/drivers shows onboard riders and remaining
+// stops, and pickup/dropoff events stream as they complete.
+// -pool-detour bounds each rider's detour in seconds (0 = 300s).
 //
 // -shards N serves the session on the partitioned multi-engine runtime
 // (N lockstep engines, each owning a contiguous band of the city and
@@ -68,8 +75,39 @@ func main() {
 		declineCD    = flag.Float64("decline-cooldown", 0, "scenario: declining driver's cooldown in engine seconds (0 = default 60)")
 		travelNoise  = flag.Float64("travel-noise", 0, "scenario: relative stddev of realized travel times around the estimate")
 		scenarioSeed = flag.Int64("scenario-seed", 0, "scenario: RNG seed for cancels/declines/noise")
+
+		poolCap    = flag.Int("pool-capacity", 0, "pooling: onboard rider capacity per driver (0 or 1 = off, >= 2 = shared rides)")
+		poolDetour = flag.Float64("pool-detour", 0, "pooling: max per-rider detour in seconds (0 = default 300)")
 	)
 	flag.Parse()
+
+	// Fail fast on nonsensical flags, joined, matching the
+	// mrvd.NewService validation convention.
+	var flagErrs []error
+	if *orders <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-orders must be positive, got %d", *orders))
+	}
+	if *drivers <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-drivers must be positive, got %d", *drivers))
+	}
+	if *maxPending <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-max-pending must be positive, got %d", *maxPending))
+	}
+	if *patience <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-patience must be positive, got %v", *patience))
+	}
+	if *shards < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-shards must be >= 0, got %d", *shards))
+	}
+	if *poolCap < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-pool-capacity must be >= 0, got %d", *poolCap))
+	}
+	if *poolDetour < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-pool-detour must be >= 0, got %v", *poolDetour))
+	}
+	if err := errors.Join(flagErrs...); err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -94,6 +132,9 @@ func main() {
 	}
 	if scenario.Enabled() {
 		opts = append(opts, mrvd.WithScenario(scenario))
+	}
+	if *poolCap >= 2 {
+		opts = append(opts, mrvd.WithPooling(*poolCap, *poolDetour))
 	}
 	if *shards > 0 {
 		opts = append(opts, mrvd.WithShards(*shards))
@@ -152,6 +193,13 @@ func main() {
 	if scenario.Enabled() {
 		fmt.Printf("  disruptions: cancel-rate %.2f, decline-prob %.2f, travel-noise %.2f (seed %d)\n",
 			scenario.CancelRate, scenario.DeclineProb, scenario.TravelNoise, scenario.Seed)
+	}
+	if *poolCap >= 2 {
+		detour := *poolDetour
+		if detour == 0 {
+			detour = 300
+		}
+		fmt.Printf("  pooling: capacity %d, max detour %.0fs\n", *poolCap, detour)
 	}
 	fmt.Printf("  POST %s/v1/orders  {\"pickup\":{\"lng\":..,\"lat\":..},\"dropoff\":{..}}  (?wait=true to long-poll)\n", *addr)
 	fmt.Printf("  DELETE %s/v1/orders/{id}  (rider-initiated cancel)\n", *addr)

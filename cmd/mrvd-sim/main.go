@@ -9,10 +9,17 @@
 //	         [-trace file.csv] [-seed 1]
 //	         [-cancel-rate 0] [-decline-prob 0] [-decline-cooldown 0]
 //	         [-travel-noise 0] [-scenario-seed 0]
+//	         [-pool-capacity 0] [-pool-detour 0]
 //
 // The scenario flags run the day under disruptions: stochastic rider
 // cancellations, driver declines with cooldown, and noisy realized
 // travel times (all off by default; see mrvd.WithScenario).
+//
+// -pool-capacity >= 2 enables shared rides (see mrvd.WithPooling):
+// busy drivers carry route plans and each batch prices detour-bounded
+// insertions; pair it with the POOL algorithm (e.g. -algs NEAR,POOL)
+// to commit them. -pool-detour bounds each rider's detour in seconds
+// (0 keeps the 300s default).
 //
 // With -trace, orders are read from a CSV in the library's trace format
 // (e.g., a converted TLC extract) instead of the synthetic city.
@@ -20,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,8 +55,33 @@ func main() {
 		declineCD    = flag.Float64("decline-cooldown", 0, "scenario: declining driver's cooldown in engine seconds (0 = default 60)")
 		travelNoise  = flag.Float64("travel-noise", 0, "scenario: relative stddev of realized travel times around the estimate")
 		scenarioSeed = flag.Int64("scenario-seed", 0, "scenario: RNG seed for cancels/declines/noise")
+
+		poolCap    = flag.Int("pool-capacity", 0, "pooling: onboard rider capacity per driver (0 or 1 = off, >= 2 = shared rides)")
+		poolDetour = flag.Float64("pool-detour", 0, "pooling: max per-rider detour in seconds (0 = default 300)")
 	)
 	flag.Parse()
+
+	// Fail fast on nonsensical flags, joined, matching the
+	// mrvd.NewService validation convention.
+	var flagErrs []error
+	if *orders <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-orders must be positive, got %d", *orders))
+	}
+	if *drivers <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-drivers must be positive, got %d", *drivers))
+	}
+	if *tau <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-tau must be positive, got %v", *tau))
+	}
+	if *poolCap < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-pool-capacity must be >= 0, got %d", *poolCap))
+	}
+	if *poolDetour < 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-pool-detour must be >= 0, got %v", *poolDetour))
+	}
+	if err := errors.Join(flagErrs...); err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -96,6 +129,9 @@ func main() {
 	if scenario.Enabled() {
 		svcOpts = append(svcOpts, mrvd.WithScenario(scenario))
 	}
+	if *poolCap >= 2 {
+		svcOpts = append(svcOpts, mrvd.WithPooling(*poolCap, *poolDetour))
+	}
 	if *traceFile != "" {
 		// Replay the external trace: orders come from the file; drivers
 		// start at sampled pickups.
@@ -142,6 +178,10 @@ func main() {
 		if s.TravelSamples > 0 {
 			fmt.Printf("       travel noise: %d trips, mean |est-real| %.1fs\n",
 				s.TravelSamples, s.MeanAbsTravelErrorSeconds())
+		}
+		if s.SharedServed > 0 {
+			fmt.Printf("       pooled: %d shared rides, mean detour %.1fs\n",
+				s.SharedServed, s.DetourSeconds/float64(s.SharedServed))
 		}
 	}
 }

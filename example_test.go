@@ -26,7 +26,7 @@ func ExampleNewService() {
 	fmt.Println("algorithms:", mrvd.AlgorithmNames())
 	// Output:
 	// 20 drivers
-	// algorithms: [IRG LS SHORT LTG NEAR RAND POLAR UPPER]
+	// algorithms: [IRG LS SHORT LTG NEAR RAND POLAR UPPER POOL]
 }
 
 // ExampleService_Run simulates a short morning window of a small city

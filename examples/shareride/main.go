@@ -1,0 +1,75 @@
+// Share the ride: the same saturated morning peak dispatched solo and
+// pooled. One peak hour of a 28K-order day lands on a fleet far too
+// small to serve it one rider per car; enabling pooling lets the POOL
+// dispatcher splice a second rider's pickup and dropoff into an active
+// route plan whenever the detour fits the bound, so the same drivers
+// serve strictly more orders at a small, bounded detour cost to the
+// riders who share.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mrvd"
+)
+
+func main() {
+	city := mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 28000, Seed: 31})
+	rng := rand.New(rand.NewSource(9))
+	day := city.GenerateDay(0, rng)
+
+	// One rebased peak hour: 7-8 AM of the synthetic day.
+	const peakStart, horizon = 25200.0, 3600.0
+	var orders []mrvd.Order
+	for _, o := range day {
+		if o.PostTime >= peakStart && o.PostTime < peakStart+horizon {
+			o.PostTime -= peakStart
+			o.Deadline -= peakStart
+			orders = append(orders, o)
+		}
+	}
+	starts := city.InitialDrivers(60, day, rng)
+	fmt.Printf("morning peak: %d orders in one hour, %d drivers\n\n", len(orders), len(starts))
+
+	const maxDetour = 300.0
+	run := func(extra ...mrvd.Option) mrvd.Summary {
+		opts := append([]mrvd.Option{
+			mrvd.WithCity(city),
+			mrvd.WithOrders(orders, starts),
+			mrvd.WithFleet(len(starts)),
+			mrvd.WithHorizon(horizon),
+			mrvd.WithPrediction(mrvd.PredictNone, nil),
+		}, extra...)
+		svc, err := mrvd.NewService(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := svc.Run(context.Background(), "POOL")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m.Summary()
+	}
+
+	fmt.Printf("%-12s %8s %8s %8s %12s\n", "mode", "served", "shared", "perDrv", "meanDetour")
+	solo := run()
+	fmt.Printf("%-12s %8d %8d %8.2f %12s\n",
+		"solo", solo.Served, solo.SharedServed, float64(solo.Served)/float64(len(starts)), "-")
+	for _, capacity := range []int{2, 3} {
+		s := run(mrvd.WithPooling(capacity, maxDetour))
+		detour := 0.0
+		if s.SharedServed > 0 {
+			detour = s.DetourSeconds / float64(s.SharedServed)
+		}
+		fmt.Printf("%-12s %8d %8d %8.2f %11.0fs\n",
+			fmt.Sprintf("capacity=%d", capacity), s.Served, s.SharedServed,
+			float64(s.Served)/float64(len(starts)), detour)
+	}
+
+	fmt.Printf("\nEvery shared rider's realized detour is bounded by %0.0fs; with\n", maxDetour)
+	fmt.Println("pooling off (or capacity 1) the run is byte-identical to the")
+	fmt.Println("plain engine — the subsystem costs nothing until enabled.")
+}

@@ -8,6 +8,7 @@ import (
 
 	"mrvd/internal/dispatch"
 	"mrvd/internal/geo"
+	"mrvd/internal/pool"
 	"mrvd/internal/predict"
 	"mrvd/internal/queueing"
 	"mrvd/internal/roadnet"
@@ -81,6 +82,11 @@ type Options struct {
 	// engine byte-identical to a scenario-free run. See
 	// sim.ScenarioConfig.
 	Scenario sim.ScenarioConfig
+	// Pooling configures shared rides (see pool.Config): with Capacity
+	// >= 2 busy drivers carry route plans and the batch prices
+	// detour-bounded insertions alongside solo pairs. The zero value
+	// keeps the engine byte-identical to a pooling-free run.
+	Pooling pool.Config
 	// Shards, when >= 1, runs on the partitioned multi-engine runtime
 	// (internal/shard): the grid's regions are split across Shards
 	// lockstep engines, each owning the fleet slice starting in its
@@ -346,6 +352,7 @@ func (r *Runner) simConfig(fn func(now, tc float64) []int) sim.Config {
 		Horizon:         r.opts.Horizon,
 		CandidateCap:    r.opts.CandidateCap,
 		Scenario:        r.opts.Scenario,
+		Pooling:         r.opts.Pooling,
 		PredictRiders:   fn,
 		Repositioner:    r.opts.Repositioner,
 		RepositionAfter: r.opts.RepositionAfter,
@@ -469,7 +476,7 @@ func (r *Runner) RunSource(ctx context.Context, d sim.Dispatcher, mode Predictio
 // AlgorithmNames lists the dispatchers NewDispatcher accepts, in the
 // paper's reporting order.
 func AlgorithmNames() []string {
-	return []string{"IRG", "LS", "SHORT", "LTG", "NEAR", "RAND", "POLAR", "UPPER"}
+	return []string{"IRG", "LS", "SHORT", "LTG", "NEAR", "RAND", "POLAR", "UPPER", "POOL"}
 }
 
 // NewDispatcher builds a fresh dispatcher by name. Stateful dispatchers
@@ -492,6 +499,8 @@ func NewDispatcher(name string, seed int64) (sim.Dispatcher, error) {
 		return &dispatch.POLAR{}, nil
 	case "UPPER":
 		return dispatch.UPPER{}, nil
+	case "POOL":
+		return dispatch.POOL{}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", name, AlgorithmNames())
 	}

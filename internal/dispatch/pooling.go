@@ -1,0 +1,70 @@
+package dispatch
+
+import (
+	"sort"
+
+	"mrvd/internal/sim"
+)
+
+// POOL is the pooling-aware greedy dispatcher: it merges the batch's
+// solo pairs and shared-ride insertion options into one candidate list,
+// scores each by its marginal cost — deadhead pickup seconds for a solo
+// pair, added route seconds (pool.Insertion.Extra) for an insertion —
+// and commits candidates cheapest-first under per-rider and per-driver
+// exclusivity. With pooling disabled the option list is empty and POOL
+// degrades to a nearest-pickup greedy over the solo pairs.
+type POOL struct{}
+
+// Name implements sim.Dispatcher.
+func (POOL) Name() string { return "POOL" }
+
+// Assign implements sim.Dispatcher.
+func (POOL) Assign(ctx *sim.Context) []sim.Assignment {
+	type cand struct {
+		cost   float64
+		pool   bool
+		pair   int // index into ctx.Pairs
+		option int // index into ctx.PoolOptions
+	}
+	cands := make([]cand, 0, len(ctx.Pairs)+len(ctx.PoolOptions))
+	for i := range ctx.Pairs {
+		cands = append(cands, cand{cost: ctx.Pairs[i].PickupCost, pair: i})
+	}
+	for i := range ctx.PoolOptions {
+		cands = append(cands, cand{cost: ctx.PoolOptions[i].Ins.Extra, pool: true, option: i})
+	}
+	// Cheapest marginal cost first; on ties solo pairs win (no detour
+	// imposed on other riders), then input order keeps it deterministic.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return !cands[i].pool && cands[j].pool
+	})
+	usedR := make([]bool, len(ctx.Riders))
+	usedD := make([]bool, len(ctx.Drivers))
+	usedPlan := make(map[sim.DriverID]bool)
+	var out []sim.Assignment
+	for _, c := range cands {
+		if c.pool {
+			opt := ctx.PoolOptions[c.option]
+			// One splice per plan per batch: the option's ETAs are
+			// priced against the plan as it stood at batch start.
+			if usedR[opt.R] || usedPlan[opt.Driver] {
+				continue
+			}
+			usedR[opt.R] = true
+			usedPlan[opt.Driver] = true
+			out = append(out, sim.Assignment{R: opt.R, Pool: true, Option: int32(c.option)})
+			continue
+		}
+		p := ctx.Pairs[c.pair]
+		if usedR[p.R] || usedD[p.D] {
+			continue
+		}
+		usedR[p.R] = true
+		usedD[p.D] = true
+		out = append(out, sim.Assignment{R: p.R, D: p.D})
+	}
+	return out
+}

@@ -94,18 +94,28 @@ type Result struct {
 	Latency time.Duration `json:"-"`
 	// LatencyMS mirrors Latency for the JSON report.
 	LatencyMS float64 `json:"latency_ms"`
+	// Shared marks a pooled assignment; DetourSeconds is its planned
+	// detour (assigned orders against a pooling-enabled gateway only).
+	Shared        bool    `json:"shared,omitempty"`
+	DetourSeconds float64 `json:"detour_seconds,omitempty"`
 }
 
 // Report aggregates one load run.
 type Report struct {
-	Orders         int     `json:"orders"`
-	Assigned       int     `json:"assigned"`
-	Expired        int     `json:"expired"`
-	Canceled       int     `json:"canceled"` // rider-initiated (the DELETE mix)
-	Pending        int     `json:"pending"`  // wait timed out while still pending
-	Rejected       int     `json:"rejected_429"`
-	Errors         int     `json:"errors"`
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Orders   int `json:"orders"`
+	Assigned int `json:"assigned"`
+	// AssignedShared/AssignedSolo split Assigned by pooled insertion
+	// vs. dedicated trip; MeanDetourSeconds averages the planned detour
+	// over the shared ones. All zero against a pooling-off gateway.
+	AssignedShared    int     `json:"assigned_shared"`
+	AssignedSolo      int     `json:"assigned_solo"`
+	MeanDetourSeconds float64 `json:"mean_detour_seconds"`
+	Expired           int     `json:"expired"`
+	Canceled          int     `json:"canceled"` // rider-initiated (the DELETE mix)
+	Pending           int     `json:"pending"`  // wait timed out while still pending
+	Rejected          int     `json:"rejected_429"`
+	Errors            int     `json:"errors"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
 	// Throughput counts completed submissions (any fate) per second.
 	Throughput float64 `json:"throughput_per_sec"`
 	// Latency summarizes submit-to-assignment wall latency over
@@ -133,8 +143,12 @@ type point struct {
 // submitReply is the slice of the gateway's order response the harness
 // reads.
 type submitReply struct {
-	ID     int64  `json:"id"`
-	Status string `json:"status"`
+	ID         int64  `json:"id"`
+	Status     string `json:"status"`
+	Assignment *struct {
+		Shared        bool    `json:"shared"`
+		DetourSeconds float64 `json:"detour_seconds"`
+	} `json:"assignment"`
 }
 
 // Run drives one load run and blocks until every order resolved (or
@@ -190,6 +204,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		switch r.Status {
 		case "assigned":
 			report.Assigned++
+			if r.Shared {
+				report.AssignedShared++
+			} else {
+				report.AssignedSolo++
+			}
 		case "expired":
 			report.Expired++
 		case "canceled":
@@ -239,6 +258,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		report.Throughput = float64(report.Orders) / report.ElapsedSeconds
 	}
 	report.Latency = hist.Summary()
+	if report.AssignedShared > 0 {
+		var detour float64
+		for _, r := range report.Results {
+			if r.Status == "assigned" && r.Shared {
+				detour += r.DetourSeconds
+			}
+		}
+		report.MeanDetourSeconds = detour / float64(report.AssignedShared)
+	}
 	for i := range report.Results {
 		report.Results[i].LatencyMS = report.Results[i].Latency.Seconds() * 1000
 	}
@@ -283,7 +311,12 @@ func submitOne(ctx context.Context, cfg Config, o trace.Order, hist *Histogram) 
 	switch reply.Status {
 	case "assigned", "expired":
 		hist.Observe(elapsed)
-		return Result{ID: reply.ID, Status: reply.Status, Latency: elapsed}
+		r := Result{ID: reply.ID, Status: reply.Status, Latency: elapsed}
+		if reply.Assignment != nil {
+			r.Shared = reply.Assignment.Shared
+			r.DetourSeconds = reply.Assignment.DetourSeconds
+		}
+		return r
 	case "canceled_by_rider":
 		// Another actor (a concurrent DELETE, the scenario's patience
 		// model) canceled the order while we long-polled.
@@ -343,7 +376,12 @@ func cancelOne(ctx context.Context, cfg Config, o trace.Order) Result {
 		case "canceled_by_rider":
 			return Result{ID: reply.ID, Status: "canceled", Latency: time.Since(start)}
 		case "assigned", "expired":
-			return Result{ID: reply.ID, Status: view.Status, Latency: time.Since(start)}
+			r := Result{ID: reply.ID, Status: view.Status, Latency: time.Since(start)}
+			if view.Assignment != nil {
+				r.Shared = view.Assignment.Shared
+				r.DetourSeconds = view.Assignment.DetourSeconds
+			}
+			return r
 		}
 		select {
 		case <-time.After(10 * time.Millisecond):

@@ -1,0 +1,21 @@
+// Package pool models multi-rider trips: a driver's commitment is an
+// ordered route plan of pickup and dropoff stops instead of a single
+// (pickup, dropoff) pair, and new orders join an active plan through
+// detour-bounded insertion.
+//
+// The package is deliberately engine-agnostic: a Plan is plain data
+// (stops with committed arrival times), Best enumerates feasible
+// insertion positions for a new Request under capacity, deadline and
+// per-rider detour constraints, and Insert/Cancel splice the plan while
+// preserving one invariant the simulation engine depends on: the plan's
+// front stop — the leg the driver is already driving — is never
+// reordered, retimed or removed. Insertions land at index >= 1, and a
+// cancellation whose pickup is the front stop keeps it as an inert
+// via-point, so a completion time scheduled for the front stop can
+// never go stale.
+//
+// Travel costs enter through a CostFn callback. The engine backs it
+// with the batch's many-to-many cost matrices (roadnet.BatchCoster), so
+// insertion evaluation stays batched rather than issuing per-pair
+// coster queries from inner loops.
+package pool

@@ -9,7 +9,8 @@ import (
 )
 
 // event is one SSE payload. Type is one of "batch", "assigned",
-// "expired", "canceled", "declined", "repositioned".
+// "expired", "canceled", "declined", "repositioned", "pickup",
+// "dropoff" (the last two only with pooling enabled).
 type event struct {
 	Type string  `json:"type"`
 	T    float64 `json:"t"` // engine time
@@ -29,6 +30,17 @@ type event struct {
 
 	From *pointJSON `json:"from,omitempty"`
 	To   *pointJSON `json:"to,omitempty"`
+
+	// Pooling-only fields: pooled assignments carry shared/detour,
+	// pickup and dropoff stop completions carry onboard/stops. None is
+	// ever set with pooling off, so the stream stays byte-identical.
+	Shared  *bool    `json:"shared,omitempty"`
+	Detour  *float64 `json:"detour_seconds,omitempty"`
+	Onboard *int     `json:"onboard,omitempty"`
+	Stops   *int     `json:"stops,omitempty"`
+	// At is the stop's committed arrival time (pickup/dropoff events
+	// fire at the next batch boundary, so At <= T).
+	At *float64 `json:"at,omitempty"`
 }
 
 // pointJSON is the wire form of a coordinate.
@@ -128,9 +140,16 @@ func (h *hub) observer() mrvd.Observer {
 				Waiting: ptr(e.Waiting), Available: ptr(e.Available)})
 		},
 		Assigned: func(e mrvd.AssignedEvent) {
-			emit(event{Type: "assigned", T: e.Now,
+			ev := event{Type: "assigned", T: e.Now,
 				Order: ptr(int64(e.Rider.Order.ID)), Driver: ptr(int64(e.Driver)),
-				PickupCost: ptr(e.PickupCost), Revenue: ptr(e.Revenue), FreeAt: ptr(e.FreeAt)})
+				PickupCost: ptr(e.PickupCost), Revenue: ptr(e.Revenue), FreeAt: ptr(e.FreeAt)}
+			if e.Shared {
+				ev.Shared = ptr(true)
+				ev.Detour = ptr(e.DetourSeconds)
+				ev.Onboard = ptr(e.Onboard)
+				ev.Stops = ptr(e.Stops)
+			}
+			emit(ev)
 		},
 		Expired: func(e mrvd.ExpiredEvent) {
 			emit(event{Type: "expired", T: e.Now, Order: ptr(int64(e.Rider.Order.ID))})
@@ -147,6 +166,21 @@ func (h *hub) observer() mrvd.Observer {
 			from, to := toPoint(e.From), toPoint(e.To)
 			emit(event{Type: "repositioned", T: e.Now, Driver: ptr(int64(e.Driver)),
 				From: &from, To: &to, FreeAt: ptr(e.ArriveAt)})
+		},
+		PickedUp: func(e mrvd.PickedUpEvent) {
+			emit(event{Type: "pickup", T: e.Now, At: ptr(e.At),
+				Order: ptr(int64(e.Order)), Driver: ptr(int64(e.Driver)),
+				Onboard: ptr(e.Onboard), Stops: ptr(e.Remaining)})
+		},
+		DroppedOff: func(e mrvd.DroppedOffEvent) {
+			ev := event{Type: "dropoff", T: e.Now, At: ptr(e.At),
+				Order: ptr(int64(e.Order)), Driver: ptr(int64(e.Driver)),
+				Onboard: ptr(e.Onboard), Stops: ptr(e.Remaining)}
+			if e.Shared {
+				ev.Shared = ptr(true)
+				ev.Detour = ptr(e.DetourSeconds)
+			}
+			emit(ev)
 		},
 	}
 }

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mrvd"
+)
+
+// newPooledTestServer boots a single-driver pooled gateway. One car and
+// a paced engine force the second submission to ride along: the only
+// feasible assignment while the first trip is underway is an insertion
+// into its route plan.
+func newPooledTestServer(t *testing.T, capacity int, maxDetour, pace float64) (*Server, *httptest.Server) {
+	t.Helper()
+	svc, err := mrvd.NewService(
+		mrvd.WithCity(mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 2000, Seed: 17})),
+		mrvd.WithFleet(1),
+		mrvd.WithBatchInterval(3),
+		mrvd.WithHorizon(10*365*24*3600),
+		mrvd.WithPrediction(mrvd.PredictNone, nil),
+		mrvd.WithPooling(capacity, maxDetour),
+		// ~300 simulated seconds per wall second: fast enough that both
+		// trips complete in a few seconds, slow enough that the second
+		// order arrives long before the first trip ends.
+		mrvd.WithPace(pace),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts, _ := newTestServerWith(t, svc, Config{Algorithm: "POOL", Fleet: 1})
+	return srv, ts
+}
+
+func newTestServerWith(t *testing.T, svc *mrvd.Service, cfg Config) (*Server, *httptest.Server, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := New(ctx, svc, cfg)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		cancel()
+		<-srv.Handle().Done()
+		ts.Close()
+	})
+	return srv, ts, cancel
+}
+
+func postOrderAt(t *testing.T, ts *httptest.Server, pickup, dropoff pointJSON) orderResponse {
+	t.Helper()
+	body, _ := json.Marshal(orderRequest{
+		Pickup: pickup, Dropoff: dropoff, PatienceSeconds: 1e6,
+	})
+	resp, err := ts.Client().Post(ts.URL+"/v1/orders?wait=true", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d, want 200", resp.StatusCode)
+	}
+	var or orderResponse
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		t.Fatal(err)
+	}
+	return or
+}
+
+// TestEndToEndPooledRide drives a shared trip over real HTTP: rider A
+// takes the fleet's only car on a long diagonal; rider B, posted along
+// that path, must be served by insertion. The wire response, driver
+// view, stats counters, and SSE stream all surface the pooled state.
+func TestEndToEndPooledRide(t *testing.T) {
+	const maxDetour = 600.0
+	_, ts := newPooledTestServer(t, 2, maxDetour, 300)
+
+	// Subscribe to the event stream before any order exists so the
+	// pickup/dropoff events cannot be missed.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/events", nil)
+	stream, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+
+	// A long diagonal for A; B's pickup and dropoff sit on it, so the
+	// insertion detour is near zero and far under the bound.
+	a := postOrderAt(t, ts,
+		pointJSON{Lng: -73.99, Lat: 40.72}, pointJSON{Lng: -73.91, Lat: 40.80})
+	if a.Status != "assigned" || a.Assigned == nil {
+		t.Fatalf("rider A not assigned: %+v", a)
+	}
+	if a.Assigned.Shared {
+		t.Fatalf("rider A owns the trip, must not be marked shared: %+v", a.Assigned)
+	}
+	b := postOrderAt(t, ts,
+		pointJSON{Lng: -73.97, Lat: 40.74}, pointJSON{Lng: -73.93, Lat: 40.78})
+	if b.Status != "assigned" || b.Assigned == nil {
+		t.Fatalf("rider B not assigned: %+v", b)
+	}
+	if !b.Assigned.Shared {
+		t.Fatalf("rider B was not pooled: %+v", b.Assigned)
+	}
+	if d := b.Assigned.DetourSeconds; d < 0 || d > maxDetour {
+		t.Fatalf("rider B planned detour %.1fs outside [0, %.0f]", d, maxDetour)
+	}
+	if a.Driver == nil || b.Driver == nil || *a.Driver != *b.Driver {
+		t.Fatalf("riders split across drivers in a one-car fleet: %v vs %v", a.Driver, b.Driver)
+	}
+
+	// Mid-trip driver view: the only car is busy working a multi-stop
+	// plan (4 stops before any pickup, fewer as stops complete).
+	var drivers []driverResponse
+	getJSON(t, ts, "/v1/drivers", &drivers)
+	if len(drivers) != 1 {
+		t.Fatalf("drivers listed: %d, want 1", len(drivers))
+	}
+	if d := drivers[0]; !d.Busy || d.RemainingStops < 1 || d.RemainingStops > 4 || d.Onboard < 0 || d.Onboard > 2 {
+		t.Fatalf("mid-trip driver view implausible: %+v", d)
+	}
+
+	// The stream must deliver both pickups and both dropoffs, with the
+	// onboard count peaking at 2 and exactly B's dropoff marked shared.
+	scanner := bufio.NewScanner(stream.Body)
+	pickups, dropoffs, maxOnboard := 0, 0, 0
+	sharedDrops := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for (pickups < 2 || dropoffs < 2) && time.Now().Before(deadline) && scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "pickup":
+			pickups++
+			if ev.Onboard == nil || ev.Stops == nil {
+				t.Fatalf("pickup event missing onboard/stops: %q", line)
+			}
+			if *ev.Onboard > maxOnboard {
+				maxOnboard = *ev.Onboard
+			}
+		case "dropoff":
+			dropoffs++
+			if ev.Shared != nil && *ev.Shared {
+				sharedDrops++
+				if ev.Order == nil || *ev.Order != b.ID {
+					t.Fatalf("shared dropoff for the wrong order: %q", line)
+				}
+				if ev.Detour == nil || *ev.Detour < 0 || *ev.Detour > maxDetour {
+					t.Fatalf("shared dropoff detour out of bounds: %q", line)
+				}
+			}
+		}
+	}
+	if pickups != 2 || dropoffs != 2 {
+		t.Fatalf("stream carried %d pickups / %d dropoffs, want 2/2 (scan err %v)",
+			pickups, dropoffs, scanner.Err())
+	}
+	if maxOnboard != 2 {
+		t.Fatalf("onboard never reached 2 on the stream (peak %d)", maxOnboard)
+	}
+	if sharedDrops != 1 {
+		t.Fatalf("%d shared dropoffs on the stream, want exactly 1", sharedDrops)
+	}
+
+	// Terminal stats: one shared insertion committed, two stops of each
+	// kind completed, realized detour within the bound.
+	var stats statsResponse
+	getJSON(t, ts, "/v1/stats", &stats)
+	if stats.Engine.SharedAssigned != 1 {
+		t.Errorf("stats shared_assigned = %d, want 1", stats.Engine.SharedAssigned)
+	}
+	if stats.Engine.PickedUp != 2 || stats.Engine.DroppedOff != 2 {
+		t.Errorf("stats picked_up/dropped_off = %d/%d, want 2/2",
+			stats.Engine.PickedUp, stats.Engine.DroppedOff)
+	}
+	if d := stats.Engine.DetourSeconds; d < 0 || d > maxDetour {
+		t.Errorf("stats detour_seconds %.1f outside [0, %.0f]", d, maxDetour)
+	}
+
+	// And the driver is idle again with an empty plan.
+	getJSON(t, ts, "/v1/drivers", &drivers)
+	if d := drivers[0]; d.Onboard != 0 || d.RemainingStops != 0 || d.Served != 2 {
+		t.Errorf("post-trip driver view %+v, want onboard 0, stops 0, served 2", d)
+	}
+
+	// The stored order view agrees with the long-poll outcome.
+	var view orderResponse
+	getJSON(t, ts, fmt.Sprintf("/v1/orders/%d", b.ID), &view)
+	if view.Assigned == nil || !view.Assigned.Shared {
+		t.Errorf("stored view of rider B lost the shared flag: %+v", view)
+	}
+}

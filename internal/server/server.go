@@ -153,6 +153,11 @@ type assigned struct {
 	FreeAt     float64 `json:"free_at"`
 	PickupCost float64 `json:"pickup_cost"`
 	Revenue    float64 `json:"revenue"`
+	// Shared marks a pooled insertion into another trip's route plan;
+	// DetourSeconds is the rider's planned detour beyond the direct
+	// trip. Both absent with pooling off.
+	Shared        bool    `json:"shared,omitempty"`
+	DetourSeconds float64 `json:"detour_seconds,omitempty"`
 }
 
 type expiredAt struct {
@@ -171,6 +176,11 @@ type driverResponse struct {
 	Busy        bool      `json:"busy"`
 	Pos         pointJSON `json:"pos"`
 	FreeAt      float64   `json:"free_at"`
+	// Onboard is the pooled riders currently in the car;
+	// RemainingStops the stops left on its route plan. Both zero with
+	// pooling off.
+	Onboard        int `json:"onboard"`
+	RemainingStops int `json:"remaining_stops"`
 }
 
 type errorResponse struct {
@@ -203,6 +213,7 @@ func orderViewResponse(v sim.OrderView) orderResponse {
 		resp.Assigned = &assigned{
 			At: v.AssignedAt, PickedAt: v.PickedAt, FreeAt: v.FreeAt,
 			PickupCost: v.PickupCost, Revenue: v.Revenue,
+			Shared: v.Shared, DetourSeconds: v.DetourSeconds,
 		}
 	case sim.OrderExpired:
 		resp.Expired = &expiredAt{At: v.ExpiredAt}
@@ -357,6 +368,7 @@ func (s *Server) handleDrivers(w http.ResponseWriter, r *http.Request) {
 		out[i] = driverResponse{
 			ID: int64(v.ID), Served: v.Served, Declines: v.Declines, Repositions: v.Repositions,
 			Busy: v.Busy, Pos: toPoint(v.Pos), FreeAt: v.FreeAt,
+			Onboard: v.Onboard, RemainingStops: v.RemainingStops,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -61,7 +61,13 @@ type Stats struct {
 	// shard; Declined counts driver-declined assignments here.
 	Canceled int `json:"canceled"`
 	Declined int `json:"declined"`
-	Batches  int `json:"batches"`
+	// SharedServed counts pooled riders dropped off by this shard's
+	// fleet; PickedUp/DroppedOff count pooled stop completions. All
+	// three stay zero with pooling disabled.
+	SharedServed int `json:"shared_served"`
+	PickedUp     int `json:"picked_up"`
+	DroppedOff   int `json:"dropped_off"`
+	Batches      int `json:"batches"`
 	// Dispatch wall time of this shard's StepDispatch per round, ms.
 	AvgBatchMS  float64 `json:"avg_batch_ms"`
 	MaxBatchMS  float64 `json:"max_batch_ms"`
@@ -512,6 +518,8 @@ func (rt *Runtime) aggregate(ms []*sim.Metrics) *sim.Metrics {
 		agg.Declines += m.Declines
 		agg.TotalOrders += m.TotalOrders
 		agg.PickupSeconds += m.PickupSeconds
+		agg.SharedServed += m.SharedServed
+		agg.DetourSeconds += m.DetourSeconds
 		if m.Batches > rounds {
 			rounds = m.Batches
 		}
@@ -603,6 +611,37 @@ func (t *tap) OnDeclined(e sim.DeclinedEvent) {
 	e.Driver = rt.global[t.shard][e.Driver]
 	rt.obsMu.Lock()
 	rt.downstream.OnDeclined(e)
+	rt.obsMu.Unlock()
+}
+
+func (t *tap) OnPickedUp(e sim.PickedUpEvent) {
+	rt := t.rt
+	rt.statsMu.Lock()
+	rt.stats[t.shard].PickedUp++
+	rt.statsMu.Unlock()
+	if rt.downstream == nil {
+		return
+	}
+	e.Driver = rt.global[t.shard][e.Driver]
+	rt.obsMu.Lock()
+	rt.downstream.OnPickedUp(e)
+	rt.obsMu.Unlock()
+}
+
+func (t *tap) OnDroppedOff(e sim.DroppedOffEvent) {
+	rt := t.rt
+	rt.statsMu.Lock()
+	rt.stats[t.shard].DroppedOff++
+	if e.Shared {
+		rt.stats[t.shard].SharedServed++
+	}
+	rt.statsMu.Unlock()
+	if rt.downstream == nil {
+		return
+	}
+	e.Driver = rt.global[t.shard][e.Driver]
+	rt.obsMu.Lock()
+	rt.downstream.OnDroppedOff(e)
 	rt.obsMu.Unlock()
 }
 

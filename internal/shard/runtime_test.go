@@ -9,6 +9,7 @@ import (
 
 	"mrvd/internal/dispatch"
 	"mrvd/internal/geo"
+	"mrvd/internal/pool"
 	"mrvd/internal/sim"
 	"mrvd/internal/trace"
 	"mrvd/internal/workload"
@@ -48,6 +49,12 @@ func (l *eventLog) OnDeclined(e sim.DeclinedEvent) {
 }
 func (l *eventLog) OnRepositioned(e sim.RepositionedEvent) {
 	l.entries = append(l.entries, fmt.Sprintf("repos d=%d t=%.0f", e.Driver, e.Now))
+}
+func (l *eventLog) OnPickedUp(e sim.PickedUpEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("pickup o=%d d=%d t=%.0f", e.Order, e.Driver, e.Now))
+}
+func (l *eventLog) OnDroppedOff(e sim.DroppedOffEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("dropoff o=%d d=%d t=%.0f shared=%v", e.Order, e.Driver, e.Now, e.Shared))
 }
 
 // TestOneShardParity is the contract check the issue demands: a 1-shard
@@ -159,6 +166,80 @@ func TestOneShardScenarioParity(t *testing.T) {
 			}
 		}
 		t.Fatalf("scenario event stream lengths differ: %d vs %d", len(baseLog.entries), len(shardLog.entries))
+	}
+}
+
+// TestOneShardPoolingParity extends the 1-shard parity contract to the
+// pooling subsystem: with shared rides enabled and a pooling-aware
+// dispatcher, a 1-shard runtime reproduces the unsharded engine event
+// for event — including the pickup/dropoff stop stream — and its shard
+// stats account for every pooled counter.
+func TestOneShardPoolingParity(t *testing.T) {
+	orders, starts, grid := testInstance(t, 2500, 25)
+	cfg := sim.Config{
+		Grid: grid, Delta: 3, TC: 1200, Horizon: 4 * 3600,
+		Pooling: pool.Config{Capacity: 3, MaxDetourSeconds: 400},
+	}
+
+	baseCfg := cfg
+	baseLog := &eventLog{}
+	baseCfg.Observer = baseLog
+	base, err := sim.New(baseCfg, orders, starts).Run(context.Background(), dispatch.POOL{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SharedServed == 0 {
+		t.Fatalf("pooling inactive in the reference run: %+v", base.Summary())
+	}
+
+	shardCfg := cfg
+	shardLog := &eventLog{}
+	shardCfg.Observer = shardLog
+	rt, err := New(Config{Sim: shardCfg, Shards: 1}, sim.NewSliceSource(orders), starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := rt.Run(context.Background(), func(int) (sim.Dispatcher, error) {
+		return dispatch.POOL{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.Summary() != sharded.Summary() {
+		t.Fatalf("1-shard pooled run diverges:\n  unsharded: %+v\n  1-shard:   %+v",
+			base.Summary(), sharded.Summary())
+	}
+	if !reflect.DeepEqual(baseLog.entries, shardLog.entries) {
+		for i := range baseLog.entries {
+			if i >= len(shardLog.entries) || baseLog.entries[i] != shardLog.entries[i] {
+				t.Fatalf("pooled event streams diverge at %d:\n  unsharded: %s\n  1-shard:   %s",
+					i, baseLog.entries[i], shardLog.entries[i])
+			}
+		}
+		t.Fatalf("pooled event stream lengths differ: %d vs %d", len(baseLog.entries), len(shardLog.entries))
+	}
+	stats := rt.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("1-shard runtime reports %d stats rows", len(stats))
+	}
+	if stats[0].SharedServed != base.SharedServed {
+		t.Fatalf("shard stats count %d shared trips, metrics say %d", stats[0].SharedServed, base.SharedServed)
+	}
+	// Every stop event the observer saw is tallied: each completed
+	// shared or solo trip crosses exactly one pickup and one dropoff.
+	pickups, dropoffs := 0, 0
+	for _, line := range shardLog.entries {
+		switch {
+		case len(line) > 6 && line[:6] == "pickup":
+			pickups++
+		case len(line) > 7 && line[:7] == "dropoff":
+			dropoffs++
+		}
+	}
+	if stats[0].PickedUp != pickups || stats[0].DroppedOff != dropoffs {
+		t.Fatalf("shard stats (%d picked up, %d dropped off) disagree with the stream (%d, %d)",
+			stats[0].PickedUp, stats[0].DroppedOff, pickups, dropoffs)
 	}
 }
 

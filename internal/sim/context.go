@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"mrvd/internal/geo"
+	"mrvd/internal/pool"
 	"mrvd/internal/roadnet"
 )
 
@@ -77,6 +78,27 @@ type Context struct {
 	// driver's current region.
 	RiderRegion  []geo.RegionID
 	DriverRegion []geo.RegionID
+
+	// PoolCapacity is the onboard capacity when pooling is enabled, 0
+	// otherwise. PoolOptions are the batch's feasible shared-ride
+	// insertions, grouped by rider (ascending R); pooling-aware
+	// dispatchers score them against solo Pairs and commit one with
+	// Assignment.Pool. Both are empty when pooling is off, so
+	// pooling-unaware dispatchers run unchanged.
+	PoolCapacity int
+	PoolOptions  []PoolOption
+}
+
+// PoolOption is one feasible shared-ride insertion the batch priced: a
+// placement of rider R's pickup and dropoff into the active route plan
+// of a busy pooled driver. Driver is the plan holder's fleet id — not
+// an index into Context.Drivers, which lists only available drivers.
+// Ins.Extra is the marginal seconds the insertion adds to the plan,
+// the number to weigh against a solo pair's PickupCost.
+type PoolOption struct {
+	R      int32
+	Driver DriverID
+	Ins    pool.Insertion
 }
 
 // Dispatcher decides, for one batch, which valid pairs to serve

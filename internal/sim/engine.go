@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mrvd/internal/geo"
+	"mrvd/internal/pool"
 	"mrvd/internal/roadnet"
 	"mrvd/internal/trace"
 )
@@ -77,6 +78,14 @@ type Config struct {
 	// independent of the scenario: they flow in whenever the order
 	// source implements CancelableSource.
 	Scenario ScenarioConfig
+	// Pooling enables multi-rider trips: a busy driver carries an
+	// ordered route plan of pickup/dropoff stops, and new orders may be
+	// inserted into active plans under the config's capacity and
+	// per-rider detour bounds (see internal/pool). The zero value — or
+	// any Capacity <= 1 — disables pooling and keeps the engine
+	// byte-identical to a single-trip run: same Summary, same idle
+	// ledger, same event stream.
+	Pooling pool.Config
 	// PaceFactor paces the batch loop against the wall clock: the
 	// simulation advances at most PaceFactor simulated seconds per wall
 	// second (1 = real time). This is what lets wall-clock producers
@@ -186,6 +195,10 @@ type Engine struct {
 	// zero-valued — the scenario-free path pays no draws and no checks
 	// beyond a nil test.
 	scen *scenarioState
+	// ps is the pooling machinery, nil unless Config.Pooling enables
+	// multi-rider trips — the single-trip path pays nothing beyond a
+	// nil test.
+	ps *poolState
 	// cancelSrc is the order source's cancellation feed when it has one
 	// (ChannelSource, the shard runtime's feedSource); nil otherwise.
 	cancelSrc CancelableSource
@@ -235,6 +248,9 @@ func NewWithSource(cfg Config, src OrderSource, driverStarts []geo.Point) *Engin
 	}
 	if cfg.Scenario.Enabled() {
 		e.scen = newScenarioState(cfg.Scenario)
+	}
+	if cfg.Pooling.Enabled() {
+		e.ps = newPoolState(cfg.Pooling)
 	}
 	if cs, ok := src.(CancelableSource); ok {
 		e.cancelSrc = cs
@@ -589,7 +605,13 @@ func (e *Engine) processCancels(now float64) {
 				continue
 			}
 			if r.Status != WaitingStatus {
-				continue // already assigned, expired or canceled
+				// Already assigned, expired or canceled — except that in
+				// pooling mode an assigned rider may still cancel off an
+				// active plan, as long as they are not yet onboard.
+				if e.ps != nil && r.Status == AssignedStatus {
+					e.cancelPooled(now, r)
+				}
+				continue
 			}
 			e.cancelRider(now, r, true)
 			canceled = true
@@ -631,10 +653,18 @@ func (e *Engine) cancelRider(now float64, r *Rider, explicit bool) {
 }
 
 // rejoinDrivers makes busy drivers whose trips completed available,
-// opening their idle-ledger entries.
+// opening their idle-ledger entries. In pooling mode a busy driver's
+// heap entry is its plan's front-stop arrival, so completions advance
+// the plan stop by stop instead of freeing the driver in one jump.
 func (e *Engine) rejoinDrivers(now float64) {
 	for len(e.busy) > 0 && e.busy[0].freeAt <= now {
 		c := heap.Pop(&e.busy).(completion)
+		if e.ps != nil {
+			if p, ok := e.ps.plans[c.driver]; ok {
+				e.advancePlan(now, c.driver, p)
+				continue
+			}
+		}
 		drv := &e.drivers[c.driver]
 		if e.shifts != nil {
 			if la := e.shifts[c.driver].LeaveAt; la > 0 && c.freeAt >= la {
@@ -811,6 +841,9 @@ func (e *Engine) buildContext(now float64) *Context {
 		}
 		return ctx.Pairs[i].PickupCost < ctx.Pairs[j].PickupCost
 	})
+	if e.ps != nil {
+		e.buildPoolOptions(now, ctx)
+	}
 	return ctx
 }
 
@@ -834,8 +867,20 @@ func (e *Engine) countFutureRejoins(now float64) []int {
 func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) error {
 	usedR := make(map[int32]bool, len(assignments))
 	usedD := make(map[int32]bool, len(assignments))
+	var usedPool map[DriverID]bool
 	changed := false
 	for _, a := range assignments {
+		if a.Pool {
+			if usedPool == nil {
+				usedPool = make(map[DriverID]bool)
+			}
+			didChange, err := e.applyPooled(now, ctx, a, usedR, usedPool)
+			if err != nil {
+				return err
+			}
+			changed = changed || didChange
+			continue
+		}
 		if a.R < 0 || int(a.R) >= len(ctx.Riders) || a.D < 0 || int(a.D) >= len(ctx.Drivers) {
 			return fmt.Errorf("sim: assignment (%d,%d) out of range", a.R, a.D)
 		}
@@ -915,7 +960,16 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 		d.FreeAt = freeAt
 		d.Served++
 		e.idx.Remove(int32(drv.ID))
-		heap.Push(&e.busy, completion{freeAt: freeAt, driver: drv.ID})
+		stops := 0
+		if e.ps != nil {
+			// Pooling: the trip becomes a two-stop route plan, and the
+			// completion heap tracks its front stop (the pickup) instead
+			// of the whole-trip completion.
+			e.startPlan(rider, drv.ID, now+realPickup, freeAt, realTrip, realPickup)
+			stops = 2
+		} else {
+			heap.Push(&e.busy, completion{freeAt: freeAt, driver: drv.ID})
+		}
 
 		e.insertFutureRejoin(rider.DestRegion, freeAt)
 
@@ -926,12 +980,15 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 
 		if e.cfg.Observer != nil {
 			e.cfg.Observer.OnAssigned(AssignedEvent{
-				Now:        now,
-				Rider:      rider,
-				Driver:     drv.ID,
-				PickupCost: realPickup,
-				Revenue:    realTrip,
-				FreeAt:     freeAt,
+				Now:          now,
+				Rider:        rider,
+				Driver:       drv.ID,
+				PickupCost:   realPickup,
+				Revenue:      realTrip,
+				FreeAt:       freeAt,
+				Stops:        stops,
+				Dest:         rider.Order.Dropoff,
+				DriverFreeAt: freeAt,
 			})
 		}
 	}
@@ -973,6 +1030,18 @@ func (e *Engine) insertFutureRejoin(region geo.RegionID, at float64) {
 	copy(times[i+1:], times[i:])
 	times[i] = at
 	e.futureRejoin[region] = times
+}
+
+// removeFutureRejoin drops one scheduled completion — used when pooling
+// moves a driver's plan end (insertion extends it, cancellation pulls
+// it in). Times are stored exactly as inserted, so the lookup is an
+// exact float match.
+func (e *Engine) removeFutureRejoin(region geo.RegionID, at float64) {
+	times := e.futureRejoin[region]
+	i := sort.SearchFloat64s(times, at)
+	if i < len(times) && times[i] == at {
+		e.futureRejoin[region] = append(times[:i], times[i+1:]...)
+	}
 }
 
 // closeLedger discards idle records that never closed (drivers still

@@ -1,6 +1,9 @@
 package sim
 
-import "mrvd/internal/geo"
+import (
+	"mrvd/internal/geo"
+	"mrvd/internal/trace"
+)
 
 // Observer receives engine lifecycle events as they happen, so metrics
 // exporters, live dashboards and replay logs can subscribe to a run
@@ -24,11 +27,20 @@ type Observer interface {
 	// OnDeclined fires when a committed assignment is declined by the
 	// driver under the scenario's decline model: the rider returns to
 	// the waiting pool (deadline unchanged) and the driver takes a
-	// cooldown before rejoining.
+	// cooldown before rejoining. For a declined pooled insertion the
+	// whole insertion is released — the plan is untouched and the driver
+	// merely refuses further insertions until RetryAt.
 	OnDeclined(e DeclinedEvent)
 	// OnRepositioned fires when an idle driver starts a cruise proposed
 	// by the configured Repositioner.
 	OnRepositioned(e RepositionedEvent)
+	// OnPickedUp fires when a pooled driver reaches a pickup stop on its
+	// route plan. Only emitted with pooling enabled — single-trip runs
+	// fold the pickup into OnAssigned's PickedAt.
+	OnPickedUp(e PickedUpEvent)
+	// OnDroppedOff fires when a pooled driver completes a rider's
+	// dropoff stop. Only emitted with pooling enabled.
+	OnDroppedOff(e DroppedOffEvent)
 }
 
 // BatchStartEvent snapshots a batch boundary.
@@ -44,9 +56,20 @@ type AssignedEvent struct {
 	Now        float64
 	Rider      *Rider
 	Driver     DriverID
-	PickupCost float64 // seconds of deadhead travel to the pickup
+	PickupCost float64 // seconds until the rider's pickup (deadhead for a solo trip)
 	Revenue    float64 // the trip cost, the pair's revenue at alpha=1
-	FreeAt     float64 // when the driver completes the trip
+	FreeAt     float64 // when the rider's trip completes (the dropoff ETA)
+	// Pooling context. Shared marks an insertion into an active route
+	// plan; DetourSeconds is the rider's planned detour at commit;
+	// Onboard and Stops snapshot the driver's plan after the commit.
+	// Dest and DriverFreeAt are the driver's end-of-plan position and
+	// completion time — for a solo trip, the rider's dropoff and FreeAt.
+	Shared        bool
+	DetourSeconds float64
+	Onboard       int
+	Stops         int
+	Dest          geo.Point
+	DriverFreeAt  float64
 }
 
 // ExpiredEvent records one rider reneging.
@@ -82,6 +105,30 @@ type RepositionedEvent struct {
 	To       geo.Point
 	Cost     float64 // travel seconds of the cruise
 	ArriveAt float64 // when the driver becomes assignable at To
+}
+
+// PickedUpEvent records a pooled driver consuming a pickup stop.
+type PickedUpEvent struct {
+	Now       float64
+	At        float64 // the stop's committed arrival time (<= Now)
+	Order     trace.OrderID
+	Driver    DriverID
+	Onboard   int // riders in the car after this pickup
+	Remaining int // stops left on the plan
+}
+
+// DroppedOffEvent records a pooled driver completing a dropoff stop.
+type DroppedOffEvent struct {
+	Now    float64
+	At     float64 // the stop's committed arrival time (<= Now)
+	Order  trace.OrderID
+	Driver DriverID
+	// Shared marks a rider that was pool-inserted; DetourSeconds is
+	// their realized detour versus the direct-trip estimate.
+	Shared        bool
+	DetourSeconds float64
+	Onboard       int // riders still in the car
+	Remaining     int // stops left on the plan
 }
 
 // Observers fans events out to several observers in order.
@@ -129,6 +176,20 @@ func (os Observers) OnRepositioned(e RepositionedEvent) {
 	}
 }
 
+// OnPickedUp implements Observer.
+func (os Observers) OnPickedUp(e PickedUpEvent) {
+	for _, o := range os {
+		o.OnPickedUp(e)
+	}
+}
+
+// OnDroppedOff implements Observer.
+func (os Observers) OnDroppedOff(e DroppedOffEvent) {
+	for _, o := range os {
+		o.OnDroppedOff(e)
+	}
+}
+
 // ObserverFuncs adapts free functions to Observer; nil fields are
 // skipped, so callers subscribe to only the events they care about.
 type ObserverFuncs struct {
@@ -138,6 +199,8 @@ type ObserverFuncs struct {
 	Canceled     func(CanceledEvent)
 	Declined     func(DeclinedEvent)
 	Repositioned func(RepositionedEvent)
+	PickedUp     func(PickedUpEvent)
+	DroppedOff   func(DroppedOffEvent)
 }
 
 // OnBatchStart implements Observer.
@@ -179,5 +242,19 @@ func (f ObserverFuncs) OnDeclined(e DeclinedEvent) {
 func (f ObserverFuncs) OnRepositioned(e RepositionedEvent) {
 	if f.Repositioned != nil {
 		f.Repositioned(e)
+	}
+}
+
+// OnPickedUp implements Observer.
+func (f ObserverFuncs) OnPickedUp(e PickedUpEvent) {
+	if f.PickedUp != nil {
+		f.PickedUp(e)
+	}
+}
+
+// OnDroppedOff implements Observer.
+func (f ObserverFuncs) OnDroppedOff(e DroppedOffEvent) {
+	if f.DroppedOff != nil {
+		f.DroppedOff(e)
 	}
 }

@@ -13,6 +13,7 @@ import (
 type recordingObserver struct {
 	batches, assigned, expired, repositioned int
 	canceled, declined                       int
+	pickedUp, droppedOff                     int
 	revenue                                  float64
 	lastNow                                  float64
 }
@@ -32,6 +33,8 @@ func (r *recordingObserver) OnExpired(e ExpiredEvent)           { r.expired++ }
 func (r *recordingObserver) OnCanceled(e CanceledEvent)         { r.canceled++ }
 func (r *recordingObserver) OnDeclined(e DeclinedEvent)         { r.declined++ }
 func (r *recordingObserver) OnRepositioned(e RepositionedEvent) { r.repositioned++ }
+func (r *recordingObserver) OnPickedUp(e PickedUpEvent)         { r.pickedUp++ }
+func (r *recordingObserver) OnDroppedOff(e DroppedOffEvent)     { r.droppedOff++ }
 
 func TestObserverEventsMatchMetrics(t *testing.T) {
 	orders := []trace.Order{

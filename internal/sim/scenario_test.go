@@ -36,6 +36,12 @@ func (l *simEventLog) OnDeclined(e DeclinedEvent) {
 func (l *simEventLog) OnRepositioned(e RepositionedEvent) {
 	l.entries = append(l.entries, fmt.Sprintf("repos d=%d t=%.0f", e.Driver, e.Now))
 }
+func (l *simEventLog) OnPickedUp(e PickedUpEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("pickup o=%d d=%d t=%.0f", e.Order, e.Driver, e.Now))
+}
+func (l *simEventLog) OnDroppedOff(e DroppedOffEvent) {
+	l.entries = append(l.entries, fmt.Sprintf("dropoff o=%d d=%d t=%.0f shared=%v", e.Order, e.Driver, e.Now, e.Shared))
+}
 
 func diffLogs(t *testing.T, a, b *simEventLog) {
 	t.Helper()

@@ -47,6 +47,12 @@ type OrderView struct {
 	// Declines counts driver declines this order survived before its
 	// terminal state.
 	Declines int `json:"declines,omitempty"`
+	// Shared marks an order served by a pooled insertion into an active
+	// route plan; DetourSeconds is the rider's detour versus the direct
+	// trip (planned at assignment, realized once dropped off). Both stay
+	// zero without pooling.
+	Shared        bool    `json:"shared,omitempty"`
+	DetourSeconds float64 `json:"detour_seconds,omitempty"`
 }
 
 // DriverView is the queryable per-driver state: assignment counts and
@@ -61,6 +67,11 @@ type DriverView struct {
 	Pos         geo.Point `json:"pos"`  // last known (destination while busy)
 	FreeAt      float64   `json:"free_at"`
 	LastEventAt float64   `json:"last_event_at"`
+	// Onboard and RemainingStops mirror a pooled driver's route plan:
+	// riders currently in the car and stops still to serve. Both stay
+	// zero without pooling.
+	Onboard        int `json:"onboard"`
+	RemainingStops int `json:"remaining_stops"`
 }
 
 // StoreStats snapshots the store's engine counters — what GET /v1/stats
@@ -88,6 +99,13 @@ type StoreStats struct {
 	// Revenue and PickupSeconds accumulate over assignments.
 	Revenue       float64 `json:"revenue"`
 	PickupSeconds float64 `json:"pickup_seconds"`
+	// Pooled-trip counters: shared insertions committed, pickup and
+	// dropoff stops completed, and the realized detour seconds of
+	// completed shared trips. All stay zero without pooling.
+	SharedAssigned int     `json:"shared_assigned"`
+	PickedUp       int     `json:"picked_up"`
+	DroppedOff     int     `json:"dropped_off"`
+	DetourSeconds  float64 `json:"detour_seconds"`
 }
 
 // StateStore is an Observer that folds engine events into queryable
@@ -201,15 +219,21 @@ func (s *StateStore) OnAssigned(e AssignedEvent) {
 		v.FreeAt = e.FreeAt
 		v.PickupCost = e.PickupCost
 		v.Revenue = e.Revenue
+		v.Shared = e.Shared
+		v.DetourSeconds = e.DetourSeconds
 		s.stats.Assigned++
 		s.stats.Revenue += e.Revenue
 		s.stats.PickupSeconds += e.PickupCost
+		if e.Shared {
+			s.stats.SharedAssigned++
+		}
 	}
 	d := s.driver(e.Driver)
 	d.Served++
 	d.Busy = true
-	d.Pos = e.Rider.Order.Dropoff
-	d.FreeAt = e.FreeAt
+	d.Pos = e.Dest
+	d.FreeAt = e.DriverFreeAt
+	d.RemainingStops = e.Stops
 	d.LastEventAt = e.Now
 }
 
@@ -232,12 +256,28 @@ func (s *StateStore) OnCanceled(e CanceledEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := s.order(e.Rider.Order.ID)
-	if v.State == OrderPending {
+	switch v.State {
+	case OrderPending:
 		v.State = OrderCanceled
 		v.PostTime, v.Deadline = e.Rider.Order.PostTime, e.Rider.Order.Deadline
 		v.Pickup, v.Dropoff = e.Rider.Order.Pickup, e.Rider.Order.Dropoff
 		v.CanceledAt = e.Now
 		s.stats.Canceled++
+	case OrderAssigned:
+		// Pooling lets an assigned rider cancel off an active plan
+		// before pickup; the assignment's accounting unwinds with it.
+		v.State = OrderCanceled
+		v.CanceledAt = e.Now
+		s.stats.Canceled++
+		s.stats.Assigned--
+		s.stats.Revenue -= v.Revenue
+		s.stats.PickupSeconds -= v.PickupCost
+		if v.Shared {
+			s.stats.SharedAssigned--
+		}
+		d := s.driver(v.Driver)
+		d.Served--
+		d.LastEventAt = e.Now
 	}
 }
 
@@ -250,7 +290,11 @@ func (s *StateStore) OnDeclined(e DeclinedEvent) {
 	d := s.driver(e.Driver)
 	d.Declines++
 	d.Busy = true
-	d.FreeAt = e.RetryAt
+	// A pooled driver declining an insertion keeps executing its plan;
+	// never pull its completion earlier than the plan's end.
+	if e.RetryAt > d.FreeAt {
+		d.FreeAt = e.RetryAt
+	}
 	d.LastEventAt = e.Now
 	s.stats.Declined++
 }
@@ -266,6 +310,35 @@ func (s *StateStore) OnRepositioned(e RepositionedEvent) {
 	d.FreeAt = e.ArriveAt
 	d.LastEventAt = e.Now
 	s.stats.Repositioned++
+}
+
+// OnPickedUp implements Observer.
+func (s *StateStore) OnPickedUp(e PickedUpEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.driver(e.Driver)
+	d.Onboard = e.Onboard
+	d.RemainingStops = e.Remaining
+	d.LastEventAt = e.Now
+	s.stats.PickedUp++
+}
+
+// OnDroppedOff implements Observer.
+func (s *StateStore) OnDroppedOff(e DroppedOffEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.order(e.Order)
+	if v.State == OrderAssigned {
+		v.DetourSeconds = e.DetourSeconds
+	}
+	d := s.driver(e.Driver)
+	d.Onboard = e.Onboard
+	d.RemainingStops = e.Remaining
+	d.LastEventAt = e.Now
+	s.stats.DroppedOff++
+	if e.Shared {
+		s.stats.DetourSeconds += e.DetourSeconds
+	}
 }
 
 // Order returns a snapshot of one order's view.

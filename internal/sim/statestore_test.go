@@ -30,7 +30,7 @@ func TestStateStoreFoldsOrderLifecycle(t *testing.T) {
 	}
 
 	rider := &Rider{Order: o, PickedAt: 42}
-	s.OnAssigned(AssignedEvent{Now: 6, Rider: rider, Driver: 2, PickupCost: 36, Revenue: 100, FreeAt: 180})
+	s.OnAssigned(AssignedEvent{Now: 6, Rider: rider, Driver: 2, PickupCost: 36, Revenue: 100, FreeAt: 180, Dest: o.Dropoff, DriverFreeAt: 180})
 	v, _ = s.Order(0)
 	if v.State != OrderAssigned || v.Driver != 2 || v.AssignedAt != 6 || v.Revenue != 100 {
 		t.Fatalf("assigned view = %+v", v)

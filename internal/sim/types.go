@@ -82,6 +82,10 @@ type Rider struct {
 	// order if still waiting — drawn at admission from the scenario's
 	// patience model. 0 means the rider waits to the deadline.
 	CancelAt float64
+	// Shared marks a rider committed through a pooled insertion into an
+	// already-active route plan (as opposed to starting a trip of their
+	// own). Always false when pooling is disabled.
+	Shared bool
 }
 
 // Pair is one valid rider-and-driver dispatching pair of Definition 3,
@@ -98,9 +102,16 @@ type Pair struct {
 // (indices into the batch Context). IgnorePickup is reserved for the
 // UPPER bound pseudo-dispatcher, which the paper defines as serving the
 // most expensive orders while ignoring pickup distances.
+//
+// When Pool is set the assignment is a shared-ride insertion instead:
+// Option indexes Context.PoolOptions, R must match the option's rider,
+// and D is ignored — the serving driver is the option's (busy) plan
+// holder, not an available driver slot.
 type Assignment struct {
 	R, D         int32
 	IgnorePickup bool
+	Pool         bool
+	Option       int32
 }
 
 // TravelRecord pairs one noisy assignment's estimated travel durations
@@ -163,8 +174,16 @@ type Metrics struct {
 	// one record per assignment committed under travel noise.
 	TravelRecords []TravelRecord
 	// PickupSeconds sums driver travel to pickups (deadhead time,
-	// realized under travel noise).
+	// realized under travel noise). For pooled insertions the
+	// contribution is the rider's wait until pickup, which may include
+	// serving another rider's stop on the way.
 	PickupSeconds float64
+	// SharedServed counts shared riders whose pooled trip completed
+	// (dropoff reached); DetourSeconds sums their realized detours —
+	// seconds between pickup and dropoff beyond the direct-trip
+	// estimate. Both stay zero with pooling disabled.
+	SharedServed  int
+	DetourSeconds float64
 }
 
 // Summary is the deterministic projection of Metrics: every field a
@@ -189,6 +208,10 @@ type Summary struct {
 	// TravelAbsErrSeconds sums their absolute errors.
 	TravelSamples       int
 	TravelAbsErrSeconds float64
+	// SharedServed counts completed shared (pooled) trips and
+	// DetourSeconds sums their realized detours; zero without pooling.
+	SharedServed  int
+	DetourSeconds float64
 }
 
 // Summary projects the run's deterministic outcomes.
@@ -202,6 +225,8 @@ func (m *Metrics) Summary() Summary {
 		TotalOrders:   m.TotalOrders,
 		Batches:       m.Batches,
 		PickupSeconds: m.PickupSeconds,
+		SharedServed:  m.SharedServed,
+		DetourSeconds: m.DetourSeconds,
 	}
 	for _, rec := range m.IdleRecords {
 		s.IdleClosed++

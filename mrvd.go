@@ -35,7 +35,13 @@
 // estimate-vs-realized error ledger — while riders can always cancel
 // explicitly through ServeHandle.Cancel or the gateway's DELETE
 // /v1/orders/{id}; a zero-valued ScenarioConfig keeps the engine
-// byte-identical to a scenario-free run.
+// byte-identical to a scenario-free run. WithPooling(capacity, detour)
+// turns on shared rides: busy drivers carry an ordered route plan of
+// stops, every batch prices detour-bounded insertions of waiting
+// riders into active plans through the same batched cost matrices as
+// solo pairs, and the POOL dispatcher weighs both; capacity 1 (or
+// omitting the option) keeps the engine byte-identical to a
+// pooling-free run.
 //
 // See examples/ for runnable scenarios (examples/livedispatch streams
 // orders into a running engine, examples/httpserve drives the HTTP
@@ -47,6 +53,7 @@ import (
 	"mrvd/internal/core"
 	"mrvd/internal/dispatch"
 	"mrvd/internal/geo"
+	"mrvd/internal/pool"
 	"mrvd/internal/predict"
 	"mrvd/internal/queueing"
 	"mrvd/internal/roadnet"
@@ -158,6 +165,25 @@ type (
 	CanceledEvent     = sim.CanceledEvent
 	DeclinedEvent     = sim.DeclinedEvent
 	RepositionedEvent = sim.RepositionedEvent
+	// PickedUpEvent and DroppedOffEvent are the pooled stop completions
+	// (emitted only with WithPooling enabled).
+	PickedUpEvent   = sim.PickedUpEvent
+	DroppedOffEvent = sim.DroppedOffEvent
+)
+
+// Ride pooling types (see WithPooling).
+type (
+	// PoolingConfig gates shared rides: Capacity >= 2 lets busy drivers
+	// carry a route plan of stops and the batch price detour-bounded
+	// insertions. The zero value (and Capacity 1) keeps the engine
+	// byte-identical to a pooling-free run.
+	PoolingConfig = pool.Config
+	// RoutePlan is a pooled driver's ordered stop sequence.
+	RoutePlan = pool.Plan
+	// RouteStop is one pickup or dropoff on a RoutePlan.
+	RouteStop = pool.Stop
+	// Insertion is one feasible placement of an order into a RoutePlan.
+	Insertion = pool.Insertion
 )
 
 // Sharded runtime types (see WithShards).
@@ -235,7 +261,7 @@ func NewSliceSource(orders []Order) *SliceSource { return sim.NewSliceSource(ord
 func NewChannelSource() *ChannelSource { return sim.NewChannelSource() }
 
 // AlgorithmNames lists the built-in dispatchers: IRG, LS, SHORT, LTG,
-// NEAR, RAND, POLAR, UPPER.
+// NEAR, RAND, POLAR, UPPER, POOL.
 func AlgorithmNames() []string { return core.AlgorithmNames() }
 
 // NewDispatcher builds a fresh dispatcher by name; seed feeds stochastic

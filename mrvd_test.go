@@ -51,7 +51,7 @@ func TestPublicAPIDeprecatedRunnerFlow(t *testing.T) {
 
 func TestPublicAPIAlgorithmNames(t *testing.T) {
 	names := AlgorithmNames()
-	if len(names) != 8 {
+	if len(names) != 9 {
 		t.Fatalf("AlgorithmNames = %v", names)
 	}
 	for _, n := range names {

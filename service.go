@@ -212,6 +212,29 @@ func WithScenario(sc ScenarioConfig) Option {
 	}
 }
 
+// WithPooling enables shared rides: busy drivers carry an ordered
+// route plan of pickup and dropoff stops, and every batch prices
+// detour-bounded insertions of waiting riders into active plans
+// alongside the solo pairs (see the POOL dispatcher). capacity is the
+// onboard rider limit per driver; maxDetourSeconds bounds how far any
+// rider's door-to-door time may stretch past their direct trip (0
+// keeps the 300s default). WithPooling(1, 0) — capacity one — and
+// omitting the option are byte-identical: the engine runs the exact
+// solo code path.
+func WithPooling(capacity int, maxDetourSeconds float64) Option {
+	return func(s *Service) {
+		if capacity < 1 {
+			s.failf("WithPooling: capacity must be >= 1, got %d", capacity)
+			return
+		}
+		if maxDetourSeconds < 0 || math.IsNaN(maxDetourSeconds) || math.IsInf(maxDetourSeconds, 0) {
+			s.failf("WithPooling: max detour must be a finite value >= 0, got %v", maxDetourSeconds)
+			return
+		}
+		s.opts.Pooling = PoolingConfig{Capacity: capacity, MaxDetourSeconds: maxDetourSeconds}
+	}
+}
+
 // WithCandidateCap prices only the k nearest feasible drivers per
 // rider instead of every driver in the rider's patience radius — the
 // pre-filter that bounds per-order matching work for very large
@@ -521,6 +544,11 @@ type Outcome struct {
 	FreeAt     float64 // when the trip completes
 	PickupCost float64 // deadhead seconds to the pickup
 	Revenue    float64 // trip cost, the order's revenue at alpha=1
+	// Shared marks a pooled insertion into another trip's route plan;
+	// DetourSeconds is its planned detour beyond the direct trip
+	// (assigned-only, zero for solo trips and with pooling off).
+	Shared        bool
+	DetourSeconds float64
 	// ExpiredAt is the batch time the rider reneged (expired-only).
 	ExpiredAt float64
 	// CanceledAt is the batch time a rider-initiated cancellation was
@@ -641,14 +669,16 @@ func (h *ServeHandle) observer() Observer {
 		},
 		Assigned: func(e AssignedEvent) {
 			h.resolve(e.Rider.Order.ID, Outcome{
-				Order:      e.Rider.Order.ID,
-				Status:     OutcomeAssigned,
-				Driver:     e.Driver,
-				AssignedAt: e.Now,
-				PickedAt:   e.Rider.PickedAt,
-				FreeAt:     e.FreeAt,
-				PickupCost: e.PickupCost,
-				Revenue:    e.Revenue,
+				Order:         e.Rider.Order.ID,
+				Status:        OutcomeAssigned,
+				Driver:        e.Driver,
+				AssignedAt:    e.Now,
+				PickedAt:      e.Rider.PickedAt,
+				FreeAt:        e.FreeAt,
+				PickupCost:    e.PickupCost,
+				Revenue:       e.Revenue,
+				Shared:        e.Shared,
+				DetourSeconds: e.DetourSeconds,
 			})
 		},
 		Expired: func(e ExpiredEvent) {

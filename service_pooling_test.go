@@ -1,0 +1,127 @@
+package mrvd
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWithPoolingValidation(t *testing.T) {
+	bad := [][2]float64{
+		{0, 0},            // capacity below 1
+		{-2, 300},         // negative capacity
+		{2, -1},           // negative detour
+		{2, math.NaN()},   // NaN detour
+		{2, math.Inf(1)},  // infinite detour
+		{3, math.Inf(-1)}, // negative-infinite detour
+	}
+	for _, c := range bad {
+		if _, err := NewService(WithPooling(int(c[0]), c[1])); err == nil {
+			t.Errorf("WithPooling(%v, %v) accepted", int(c[0]), c[1])
+		}
+	}
+	for _, c := range [][2]float64{{1, 0}, {2, 0}, {2, 300}, {8, 45.5}} {
+		if _, err := NewService(WithPooling(int(c[0]), c[1])); err != nil {
+			t.Errorf("WithPooling(%v, %v) rejected: %v", int(c[0]), c[1], err)
+		}
+	}
+}
+
+// TestServicePoolingOffParity: WithPooling at capacity 1 — pooling
+// disabled, whatever the detour knob says — is exactly equivalent to
+// omitting the option.
+func TestServicePoolingOffParity(t *testing.T) {
+	mk := func(opts ...Option) Summary {
+		base := []Option{
+			WithCity(NewCity(CityConfig{OrdersPerDay: 1500, Seed: 17})),
+			WithFleet(40),
+			WithHorizon(4 * 3600),
+			WithPrediction(PredictNone, nil),
+		}
+		svc := mustService(t, append(base, opts...)...)
+		m, err := svc.Run(context.Background(), "LS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Summary()
+	}
+	plain := mk()
+	for _, opt := range []Option{WithPooling(1, 0), WithPooling(1, 250)} {
+		off := mk(opt)
+		if plain != off {
+			t.Fatalf("disabled WithPooling changed the run:\n  plain: %+v\n  off:   %+v", plain, off)
+		}
+		if off.SharedServed != 0 || off.DetourSeconds != 0 {
+			t.Fatalf("disabled pooling produced pooled counters: %+v", off)
+		}
+	}
+}
+
+// TestServicePoolingMorningPeakServesMore is the subsystem's acceptance
+// check end to end through the public API: on the same saturated
+// morning-peak instance — one peak hour of a 28K-order day, with a
+// fleet far too small to serve it solo — enabling pooling serves
+// strictly more orders per driver, and every completed shared ride
+// respects the configured detour bound.
+func TestServicePoolingMorningPeakServesMore(t *testing.T) {
+	city := NewCity(CityConfig{OrdersPerDay: 28000, Seed: 31})
+	rng := rand.New(rand.NewSource(9))
+	day := city.GenerateDay(0, rng)
+	const peakStart, horizon = 25200.0, 3600.0 // 7am-8am
+	var orders []Order
+	for _, o := range day {
+		if o.PostTime >= peakStart && o.PostTime < peakStart+horizon {
+			o.PostTime -= peakStart
+			o.Deadline -= peakStart
+			orders = append(orders, o)
+		}
+	}
+	starts := city.InitialDrivers(60, day, rng)
+
+	const maxDetour = 300.0
+	run := func(opts ...Option) (Summary, []float64) {
+		var detours []float64
+		base := []Option{
+			WithCity(city),
+			WithOrders(orders, starts),
+			WithFleet(len(starts)),
+			WithHorizon(horizon),
+			WithPrediction(PredictNone, nil),
+			WithObserver(ObserverFuncs{
+				DroppedOff: func(e DroppedOffEvent) {
+					if e.Shared {
+						detours = append(detours, e.DetourSeconds)
+					}
+				},
+			}),
+		}
+		svc := mustService(t, append(base, opts...)...)
+		m, err := svc.Run(context.Background(), "POOL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Summary(), detours
+	}
+
+	solo, soloDetours := run()
+	pooled, detours := run(WithPooling(3, maxDetour))
+	if len(soloDetours) != 0 || solo.SharedServed != 0 {
+		t.Fatalf("pooling-off run produced shared rides: %+v", solo)
+	}
+	if pooled.Served <= solo.Served {
+		t.Fatalf("pooled peak served %d orders, solo %d; pooling must strictly raise per-driver throughput",
+			pooled.Served, solo.Served)
+	}
+	if pooled.SharedServed == 0 {
+		t.Fatalf("pooled peak committed no shared rides: %+v", pooled)
+	}
+	for _, d := range detours {
+		if d > maxDetour+1e-9 {
+			t.Fatalf("realized detour %.3fs exceeds the %.0fs bound", d, maxDetour)
+		}
+	}
+	t.Logf("morning peak, %d drivers: solo served %d, pooled served %d (%d shared, mean detour %.1fs)",
+		len(starts), solo.Served, pooled.Served, pooled.SharedServed,
+		pooled.DetourSeconds/float64(pooled.SharedServed))
+}
