@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"text/tabwriter"
 
 	"mrvd/internal/core"
@@ -11,6 +12,7 @@ import (
 	"mrvd/internal/queueing"
 	"mrvd/internal/roadnet"
 	"mrvd/internal/sim"
+	"mrvd/internal/stats"
 )
 
 func init() {
@@ -25,7 +27,7 @@ func init() {
 // the configured instance seeds and returns mean revenue, served count,
 // and mean idle-estimate absolute error where estimates exist.
 func (c Config) runDirect(ctx context.Context, opts core.Options, mk func(seed int64) sim.Dispatcher, mode core.PredictionMode) (revenue, served, idleMAE float64, err error) {
-	maeSum, maeN := 0.0, 0
+	var rev, srv, mae stats.Summary
 	for seed := int64(1); seed <= int64(c.Seeds); seed++ {
 		o := opts
 		o.Seed = seed
@@ -34,27 +36,20 @@ func (c Config) runDirect(ctx context.Context, opts core.Options, mk func(seed i
 		if rerr != nil {
 			return 0, 0, 0, rerr
 		}
-		revenue += m.Revenue
-		served += float64(m.Served)
+		rev.Add(m.Revenue)
+		srv.Add(float64(m.Served))
 		for _, rec := range m.IdleRecords {
-			if rec.Estimate == rec.Estimate && !isInf(rec.Estimate) { // not NaN, not Inf
-				d := rec.Estimate - rec.Realized
-				if d < 0 {
-					d = -d
-				}
-				maeSum += d
-				maeN++
+			// Drivers that rejoin with no estimator installed, or in a
+			// region the model assigns unbounded wait, carry NaN/Inf
+			// estimates; they have no defined error.
+			if math.IsNaN(rec.Estimate) || math.IsInf(rec.Estimate, 0) {
+				continue
 			}
+			mae.Add(math.Abs(rec.Estimate - rec.Realized))
 		}
 	}
-	n := float64(c.Seeds)
-	if maeN > 0 {
-		idleMAE = maeSum / float64(maeN)
-	}
-	return revenue / n, served / n, idleMAE, nil
+	return rev.Mean(), srv.Mean(), mae.Mean(), nil
 }
-
-func isInf(x float64) bool { return x > 1e300 || x < -1e300 }
 
 func runAblationReneging(ctx context.Context, cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()

@@ -11,8 +11,10 @@ import (
 	"mrvd/internal/workload"
 )
 
-// paperOrdersPerDay is the NYC test day's order volume (Section 6.1).
-const paperOrdersPerDay = 282255
+// PaperOrdersPerDay is the NYC test day's order volume (Section 6.1) —
+// the unit every Scale knob in this package and in experiments/matrix
+// multiplies.
+const PaperOrdersPerDay = 282255
 
 // paperDriverUnit is the paper's "1K" fleet step.
 const paperDriverUnit = 1000
@@ -43,7 +45,7 @@ func (c Config) withDefaults() Config {
 }
 
 // Orders returns the scaled daily order volume.
-func (c Config) Orders() int { return int(float64(paperOrdersPerDay)*c.Scale + 0.5) }
+func (c Config) Orders() int { return int(float64(PaperOrdersPerDay)*c.Scale + 0.5) }
 
 // Drivers converts a paper fleet size ("1K" = 1000) to the scaled count.
 func (c Config) Drivers(paperN int) int {

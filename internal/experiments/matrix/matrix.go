@@ -1,0 +1,398 @@
+// Package matrix runs experiment matrices: an (algorithm × scenario ×
+// fleet × seed) grid of full dispatch simulations, aggregated into
+// per-cell trial statistics (mean ± Student-t CI, min/max/median via
+// internal/stats.Estimator) and seed-for-seed paired algorithm
+// comparisons (paired mean difference with CI plus an exact sign
+// test). It is the reproduction's answer to the paper's "every data
+// point is averaged over 10 problem instances" methodology, extended
+// with the uncertainty the paper leaves implicit — and it is how the
+// PR-5 disruption knobs and the PR-6 pooling mode become swept,
+// publishable robustness results instead of one-off runs.
+//
+// The grid executes on core.Sweep: each scenario layer is one sweep,
+// so every (seed, fleet) problem instance is materialized once and
+// shared read-only across that instance's algorithm cells, and cells
+// run in parallel on a bounded worker pool. Results are deterministic:
+// the same Config produces byte-identical reports at any worker count.
+package matrix
+
+import (
+	"context"
+	"fmt"
+
+	"mrvd/internal/core"
+	"mrvd/internal/geo"
+	"mrvd/internal/pool"
+	"mrvd/internal/predict"
+	"mrvd/internal/sim"
+	"mrvd/internal/stats"
+	"mrvd/internal/trace"
+)
+
+// Scenario is one disruption/pooling layer of the matrix: a named
+// combination of the PR-5 scenario knobs and the PR-6 pooling config,
+// applied to every (algorithm, fleet, seed) cell in the layer. The
+// zero-valued layers ("no disruptions, no pooling") are valid and are
+// how baselines enter the same report as the stressed cells.
+type Scenario struct {
+	Name     string
+	Scenario sim.ScenarioConfig
+	Pooling  pool.Config
+}
+
+// CellKey identifies one aggregated cell of the matrix.
+type CellKey struct {
+	Algorithm string `json:"algorithm"`
+	Scenario  string `json:"scenario"`
+	Fleet     int    `json:"fleet"`
+}
+
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/%s/fleet=%d", k.Algorithm, k.Scenario, k.Fleet)
+}
+
+// Config describes a matrix run.
+type Config struct {
+	// Name labels the matrix in reports ("disruptions").
+	Name string
+	// Base provides the shared problem setting (city, batch interval,
+	// coster...). Seed, NumDrivers, Scenario and Pooling are overwritten
+	// per cell from the grid axes.
+	Base core.Options
+	// Algorithms are dispatcher names accepted by core.NewDispatcher.
+	Algorithms []string
+	// Scenarios are the disruption/pooling layers; empty defaults to a
+	// single zero-valued "base" layer.
+	Scenarios []Scenario
+	// Fleets are driver counts; empty defaults to the base fleet.
+	Fleets []int
+	// Seeds are problem-instance seeds; empty defaults to 1..3. Every
+	// cell runs every seed, which is what makes comparisons pairable.
+	Seeds []int64
+	// Workers bounds parallel cell execution (0 = GOMAXPROCS). Reports
+	// are byte-identical at any worker count.
+	Workers int
+	// Mode and Model select the demand-forecast source, as in
+	// core.SweepSpec (Model instances are trained once per seed and
+	// shared across that seed's cells).
+	Mode  core.PredictionMode
+	Model func() predict.Predictor
+	// Confidence is the two-sided CI level for cell aggregates and
+	// paired comparisons (default 0.95).
+	Confidence float64
+	// Comparisons lists the paired cell comparisons to compute; empty
+	// defaults to every unordered algorithm pair within each
+	// (scenario, fleet). Explicit entries may compare across scenarios
+	// (pooled-vs-solo) or fleets instead.
+	Comparisons []Comparison
+	// Orders, when set, replays this fixed trace for every cell instead
+	// of generating a day from the city (core.SweepSpec.Orders); Starts
+	// optionally pins fleet start positions.
+	Orders []trace.Order
+	Starts []geo.Point
+}
+
+// Comparison names two cells to compare seed-for-seed.
+type Comparison struct {
+	Label string  `json:"label"`
+	A     CellKey `json:"a"`
+	B     CellKey `json:"b"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "matrix"
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []Scenario{{Name: "base"}}
+	}
+	if len(c.Fleets) == 0 {
+		c.Fleets = []int{c.Base.WithDefaults().NumDrivers}
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	if len(c.Comparisons) == 0 {
+		for _, sc := range c.Scenarios {
+			for _, fleet := range c.Fleets {
+				for i := 0; i < len(c.Algorithms); i++ {
+					for j := i + 1; j < len(c.Algorithms); j++ {
+						a := CellKey{c.Algorithms[i], sc.Name, fleet}
+						b := CellKey{c.Algorithms[j], sc.Name, fleet}
+						c.Comparisons = append(c.Comparisons, Comparison{
+							Label: fmt.Sprintf("%s vs %s @ %s/fleet=%d", a.Algorithm, b.Algorithm, sc.Name, fleet),
+							A:     a, B: b,
+						})
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+// TrialResult is one completed (cell, seed) simulation: the run's
+// deterministic Summary projection. Two executions of the same config
+// produce identical TrialResults in identical order.
+type TrialResult struct {
+	CellKey
+	Seed    int64       `json:"seed"`
+	Summary sim.Summary `json:"summary"`
+}
+
+// Trial-level derived metrics.
+
+// ServeRate is the fraction of the trace served.
+func (t TrialResult) ServeRate() float64 {
+	if t.Summary.TotalOrders == 0 {
+		return 0
+	}
+	return float64(t.Summary.Served) / float64(t.Summary.TotalOrders)
+}
+
+// MeanWaitSeconds is the mean assignment-to-pickup wait of served
+// riders (driver deadhead travel per served order).
+func (t TrialResult) MeanWaitSeconds() float64 {
+	if t.Summary.Served == 0 {
+		return 0
+	}
+	return t.Summary.PickupSeconds / float64(t.Summary.Served)
+}
+
+// SharedRate is the fraction of served riders whose trip was pooled.
+func (t TrialResult) SharedRate() float64 {
+	if t.Summary.Served == 0 {
+		return 0
+	}
+	return float64(t.Summary.SharedServed) / float64(t.Summary.Served)
+}
+
+// MeanDetourSeconds is the mean realized detour per completed shared
+// trip (0 when none).
+func (t TrialResult) MeanDetourSeconds() float64 {
+	if t.Summary.SharedServed == 0 {
+		return 0
+	}
+	return t.Summary.DetourSeconds / float64(t.Summary.SharedServed)
+}
+
+// Aggregate summarizes one metric over a cell's trials: the mean with
+// its Student-t confidence half-width, plus the nearest-rank median
+// and the extremes.
+type Aggregate struct {
+	Mean   float64 `json:"mean"`
+	Half   float64 `json:"half"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	N      int     `json:"n"`
+}
+
+func aggregate(xs []float64, confidence float64) Aggregate {
+	var e stats.Estimator
+	e.AddAll(xs)
+	iv := e.MeanCI(confidence)
+	return Aggregate{
+		Mean: iv.Mean, Half: iv.Half,
+		Median: e.Quantile(0.5), Min: e.Min(), Max: e.Max(), N: e.Count(),
+	}
+}
+
+// CellStats are the per-cell aggregates reported for every metric the
+// matrix tracks. Pooling metrics stay zero for unpooled cells; the
+// travel-error aggregate stays zero without travel noise.
+type CellStats struct {
+	ServeRate         Aggregate `json:"serve_rate"`
+	Revenue           Aggregate `json:"revenue"`
+	MeanWaitSeconds   Aggregate `json:"mean_wait_seconds"`
+	Canceled          Aggregate `json:"canceled"`
+	Declines          Aggregate `json:"declines"`
+	TravelAbsErrSecs  Aggregate `json:"travel_abs_err_seconds"`
+	SharedRate        Aggregate `json:"shared_rate"`
+	MeanDetourSeconds Aggregate `json:"mean_detour_seconds"`
+}
+
+// CellResult is one aggregated matrix cell with its per-seed trials.
+type CellResult struct {
+	CellKey
+	Trials []TrialResult `json:"trials"`
+	Stats  CellStats     `json:"stats"`
+}
+
+// MetricComparison is one metric's seed-paired comparison between two
+// cells: mean difference A-B with CI, per-seed win/loss/tie record,
+// and the exact sign-test p-value.
+type MetricComparison struct {
+	Metric string       `json:"metric"`
+	Paired stats.Paired `json:"paired"`
+}
+
+// ComparisonResult is a resolved Comparison: its per-metric paired
+// statistics, seed-aligned across the two cells.
+type ComparisonResult struct {
+	Comparison
+	Metrics []MetricComparison `json:"metrics"`
+}
+
+// Result is a completed matrix: the cell aggregates in deterministic
+// grid order (scenarios outermost, then fleets, then algorithms) and
+// the paired comparisons. It is the schema of the EXP_*.json reports.
+type Result struct {
+	Name        string             `json:"name"`
+	Confidence  float64            `json:"confidence"`
+	Algorithms  []string           `json:"algorithms"`
+	Scenarios   []string           `json:"scenarios"`
+	Fleets      []int              `json:"fleets"`
+	Seeds       []int64            `json:"seeds"`
+	Cells       []CellResult       `json:"cells"`
+	Comparisons []ComparisonResult `json:"comparisons"`
+}
+
+// Cell returns the aggregated cell for a key, or nil.
+func (r *Result) Cell(k CellKey) *CellResult {
+	for i := range r.Cells {
+		if r.Cells[i].CellKey == k {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the matrix. Each scenario layer is one core.Sweep over
+// (algorithm × seed × fleet), so problem instances are shared across
+// algorithms and cells run in parallel; the layers run back to back.
+// Any failed cell fails the whole matrix — a partially filled grid
+// cannot be paired.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("matrix: config needs at least one algorithm")
+	}
+	seen := map[string]bool{}
+	for _, sc := range cfg.Scenarios {
+		if sc.Name == "" {
+			return nil, fmt.Errorf("matrix: scenario with empty name")
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("matrix: duplicate scenario %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+
+	type trialKey struct {
+		CellKey
+		seed int64
+	}
+	trials := make(map[trialKey]sim.Summary)
+	for _, sc := range cfg.Scenarios {
+		base := cfg.Base
+		base.Scenario = sc.Scenario
+		base.Pooling = sc.Pooling
+		results, err := core.Sweep(ctx, base, core.SweepSpec{
+			Algorithms: cfg.Algorithms,
+			Seeds:      cfg.Seeds,
+			Fleets:     cfg.Fleets,
+			Workers:    cfg.Workers,
+			Mode:       cfg.Mode,
+			Model:      cfg.Model,
+			Orders:     cfg.Orders,
+			Starts:     cfg.Starts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("matrix: scenario %q: %w", sc.Name, err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("matrix: cell %s/%s fleet=%d seed=%d: %w",
+					r.Algorithm, sc.Name, r.Fleet, r.Seed, r.Err)
+			}
+			k := trialKey{CellKey{r.Algorithm, sc.Name, r.Fleet}, r.Seed}
+			trials[k] = r.Metrics.Summary()
+		}
+	}
+
+	res := &Result{
+		Name:       cfg.Name,
+		Confidence: cfg.Confidence,
+		Algorithms: cfg.Algorithms,
+		Fleets:     cfg.Fleets,
+		Seeds:      cfg.Seeds,
+	}
+	for _, sc := range cfg.Scenarios {
+		res.Scenarios = append(res.Scenarios, sc.Name)
+	}
+	for _, sc := range cfg.Scenarios {
+		for _, fleet := range cfg.Fleets {
+			for _, alg := range cfg.Algorithms {
+				cell := CellResult{CellKey: CellKey{alg, sc.Name, fleet}}
+				for _, seed := range cfg.Seeds {
+					s, ok := trials[trialKey{cell.CellKey, seed}]
+					if !ok {
+						return nil, fmt.Errorf("matrix: missing trial %s seed=%d", cell.CellKey, seed)
+					}
+					cell.Trials = append(cell.Trials, TrialResult{CellKey: cell.CellKey, Seed: seed, Summary: s})
+				}
+				cell.Stats = aggregateCell(cell.Trials, cfg.Confidence)
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+
+	for _, cmp := range cfg.Comparisons {
+		a, b := res.Cell(cmp.A), res.Cell(cmp.B)
+		if a == nil || b == nil {
+			return nil, fmt.Errorf("matrix: comparison %q references missing cell (%s vs %s)", cmp.Label, cmp.A, cmp.B)
+		}
+		cr := ComparisonResult{Comparison: cmp}
+		for _, m := range comparedMetrics {
+			av := make([]float64, len(a.Trials))
+			bv := make([]float64, len(b.Trials))
+			for i := range a.Trials {
+				av[i] = m.get(a.Trials[i])
+				bv[i] = m.get(b.Trials[i])
+			}
+			p, err := stats.PairedCompare(av, bv, cfg.Confidence)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: comparison %q: %w", cmp.Label, err)
+			}
+			cr.Metrics = append(cr.Metrics, MetricComparison{Metric: m.name, Paired: p})
+		}
+		res.Comparisons = append(res.Comparisons, cr)
+	}
+	return res, nil
+}
+
+// comparedMetrics are the trial metrics every paired comparison
+// reports on.
+var comparedMetrics = []struct {
+	name string
+	get  func(TrialResult) float64
+}{
+	{"serve_rate", TrialResult.ServeRate},
+	{"revenue", func(t TrialResult) float64 { return t.Summary.Revenue }},
+}
+
+func aggregateCell(trials []TrialResult, confidence float64) CellStats {
+	col := func(get func(TrialResult) float64) Aggregate {
+		xs := make([]float64, len(trials))
+		for i, t := range trials {
+			xs[i] = get(t)
+		}
+		return aggregate(xs, confidence)
+	}
+	return CellStats{
+		ServeRate:       col(TrialResult.ServeRate),
+		Revenue:         col(func(t TrialResult) float64 { return t.Summary.Revenue }),
+		MeanWaitSeconds: col(TrialResult.MeanWaitSeconds),
+		Canceled:        col(func(t TrialResult) float64 { return float64(t.Summary.Canceled) }),
+		Declines:        col(func(t TrialResult) float64 { return float64(t.Summary.Declines) }),
+		TravelAbsErrSecs: col(func(t TrialResult) float64 {
+			return t.Summary.MeanAbsTravelErrorSeconds()
+		}),
+		SharedRate:        col(TrialResult.SharedRate),
+		MeanDetourSeconds: col(TrialResult.MeanDetourSeconds),
+	}
+}

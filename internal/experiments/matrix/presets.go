@@ -1,0 +1,219 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mrvd/internal/core"
+	"mrvd/internal/experiments"
+	"mrvd/internal/geo"
+	"mrvd/internal/pool"
+	"mrvd/internal/sim"
+	"mrvd/internal/trace"
+	"mrvd/internal/workload"
+)
+
+// Params scales and seeds a preset matrix, mirroring
+// experiments.Config: Scale multiplies the paper's order volume and
+// fleet sizes, Seeds is the number of problem instances per cell.
+type Params struct {
+	// Scale is the fraction of the paper's daily order volume (default
+	// 0.05 — presets run whole grids, so they default smaller than the
+	// single-table experiments).
+	Scale float64
+	// Seeds is the instance count per cell (default 5; the paper
+	// averages over 10).
+	Seeds int
+	// Workers bounds parallel cells (0 = GOMAXPROCS).
+	Workers int
+	// CitySeed fixes the synthetic city's structure (default 31, the
+	// seed every other experiment in this repo uses).
+	CitySeed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 0.05
+	}
+	if p.Seeds <= 0 {
+		p.Seeds = 5
+	}
+	if p.CitySeed == 0 {
+		p.CitySeed = 31
+	}
+	return p
+}
+
+func (p Params) orders() int {
+	return int(float64(experiments.PaperOrdersPerDay)*p.Scale + 0.5)
+}
+
+func (p Params) drivers(paperN int) int {
+	n := int(float64(paperN)*p.Scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (p Params) city() *workload.City {
+	return workload.NewCity(workload.CityConfig{
+		OrdersPerDay:    p.orders(),
+		BaseWaitSeconds: 120,
+		Seed:            p.CitySeed,
+	})
+}
+
+func (p Params) seedList() []int64 {
+	seeds := make([]int64, p.Seeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// presets maps preset names to their Config builders.
+var presets = map[string]struct {
+	title string
+	build func(Params) Config
+}{
+	"disruptions": {
+		"Disruption ramp: IRG vs LS serve-rate degradation as cancel hazard × decline probability × travel noise rise",
+		disruptionRamp,
+	},
+	"pooling": {
+		"Pooled vs solo: POOL dispatch at capacity 2 and 4 against single-rider dispatch on an undersupplied fleet",
+		pooledVsSolo,
+	},
+	"fleets": {
+		"Fleet scaling: IRG vs LS vs NEAR across fleet sizes",
+		fleetScaling,
+	},
+}
+
+// Preset builds a named preset matrix at the given scale. Use
+// PresetNames for the list.
+func Preset(name string, p Params) (Config, error) {
+	entry, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("matrix: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return entry.build(p.withDefaults()), nil
+}
+
+// PresetTitle returns a preset's one-line description.
+func PresetTitle(name string) string { return presets[name].title }
+
+// PresetNames lists preset names in sorted order.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// disruptionRamp crosses the PR-5 disruption knobs in four escalating
+// steps and runs IRG and LS over every step: the default comparisons
+// give the paired IRG-vs-LS result per step, answering "how does the
+// IRG advantage hold up as the world degrades?". Scenario RNG seeds
+// are fixed per layer so layers are distinct but reproducible.
+func disruptionRamp(p Params) Config {
+	return Config{
+		Name:       "disruptions",
+		Base:       core.Options{City: p.city(), NumDrivers: p.drivers(1000)},
+		Algorithms: []string{"IRG", "LS"},
+		Scenarios: []Scenario{
+			{Name: "none"},
+			{Name: "mild", Scenario: sim.ScenarioConfig{
+				CancelRate: 0.05, DeclineProb: 0.02, TravelNoise: 0.05, Seed: 101,
+			}},
+			{Name: "moderate", Scenario: sim.ScenarioConfig{
+				CancelRate: 0.15, DeclineProb: 0.05, TravelNoise: 0.10, Seed: 102,
+			}},
+			{Name: "severe", Scenario: sim.ScenarioConfig{
+				CancelRate: 0.30, DeclineProb: 0.10, TravelNoise: 0.20, Seed: 103,
+			}},
+		},
+		Seeds:   p.seedList(),
+		Workers: p.Workers,
+		Mode:    core.PredictOracle,
+	}
+}
+
+// pooledVsSolo runs the POOL dispatcher on an undersupplied fleet
+// (half the ramp's drivers, so solo dispatch saturates) with pooling
+// off, at capacity 2, and at capacity 4 — the scenario axis carries
+// the pooling config, and the explicit comparisons pair each pooled
+// layer against solo on the same seeds.
+func pooledVsSolo(p Params) Config {
+	fleet := p.drivers(500)
+	cell := func(scenario string) CellKey { return CellKey{"POOL", scenario, fleet} }
+	return Config{
+		Name:       "pooling",
+		Base:       core.Options{City: p.city(), NumDrivers: fleet},
+		Algorithms: []string{"POOL"},
+		Scenarios: []Scenario{
+			{Name: "solo"},
+			{Name: "cap2", Pooling: pool.Config{Capacity: 2}},
+			{Name: "cap4", Pooling: pool.Config{Capacity: 4}},
+		},
+		Seeds:   p.seedList(),
+		Workers: p.Workers,
+		Mode:    core.PredictOracle,
+		Comparisons: []Comparison{
+			{Label: "cap2 vs solo", A: cell("cap2"), B: cell("solo")},
+			{Label: "cap4 vs solo", A: cell("cap4"), B: cell("solo")},
+		},
+	}
+}
+
+// fleetScaling sweeps fleet sizes with no disruptions — the paper's
+// Figure 7 axis, now with CIs and paired per-fleet comparisons.
+func fleetScaling(p Params) Config {
+	return Config{
+		Name:       "fleets",
+		Base:       core.Options{City: p.city()},
+		Algorithms: []string{"IRG", "LS", "NEAR"},
+		Fleets:     []int{p.drivers(500), p.drivers(1000), p.drivers(2000)},
+		Seeds:      p.seedList(),
+		Workers:    p.Workers,
+		Mode:       core.PredictOracle,
+	}
+}
+
+// SaturatedPeak builds the corridor-burst fixture the pooling quality
+// guard pins: nOrders riders along one eastbound corridor posted
+// within the first minute, nDrivers drivers spaced along it — far more
+// demand than solo dispatch can serve before deadlines pass, so pooled
+// capacity is the only way to raise throughput. Returns the trace and
+// pinned fleet starts for a Config.Orders/Starts replay.
+func SaturatedPeak(nOrders, nDrivers int, seed int64) ([]trace.Order, []geo.Point) {
+	p0 := geo.NYCBBox.Center()
+	offset := func(p geo.Point, meters float64) geo.Point {
+		dLng := meters / (geo.EarthRadiusMeters * math.Cos(p.Lat*math.Pi/180)) * 180 / math.Pi
+		return geo.Point{Lng: p.Lng + dLng, Lat: p.Lat}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	orders := make([]trace.Order, nOrders)
+	for i := range orders {
+		start := rng.Float64() * 3000
+		length := 1000 + rng.Float64()*3000
+		post := rng.Float64() * 60
+		orders[i] = trace.Order{
+			ID:       trace.OrderID(i),
+			PostTime: post,
+			Pickup:   offset(p0, start),
+			Dropoff:  offset(p0, start+length),
+			Deadline: post + 240 + rng.Float64()*120,
+		}
+	}
+	starts := make([]geo.Point, nDrivers)
+	for i := range starts {
+		starts[i] = offset(p0, float64(i)*3000/float64(nDrivers))
+	}
+	return orders, starts
+}

@@ -1,0 +1,134 @@
+package matrix
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report rendering. All three formats are pure functions of Result, and
+// Result is a pure function of Config (core.Sweep's determinism
+// contract), so rerunning a matrix with the same config reproduces
+// every report byte-identically — the property the determinism tests
+// pin and the EXP_*.json regression baselines rely on.
+
+// fnum formats a float compactly but deterministically.
+func fnum(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+
+// ci renders "mean ± half".
+func ci(a Aggregate) string { return fmt.Sprintf("%s ± %s", fnum(a.Mean), fnum(a.Half)) }
+
+// Markdown writes the cell and comparison tables as GitHub-flavored
+// markdown.
+func (r *Result) Markdown(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# Experiment matrix: %s\n\n", r.Name)
+	p("%d%% confidence intervals (Student-t), %d seeds per cell.\n\n", int(r.Confidence*100+0.5), len(r.Seeds))
+	p("## Cells\n\n")
+	p("| scenario | fleet | algorithm | serve rate | revenue | wait (s) | canceled | declines | travel err (s) | shared | detour (s) |\n")
+	p("|---|---:|---|---|---|---|---|---|---|---|---|\n")
+	for _, c := range r.Cells {
+		s := c.Stats
+		p("| %s | %d | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+			c.Scenario, c.Fleet, c.Algorithm,
+			ci(s.ServeRate), ci(s.Revenue), ci(s.MeanWaitSeconds),
+			ci(s.Canceled), ci(s.Declines), ci(s.TravelAbsErrSecs),
+			ci(s.SharedRate), ci(s.MeanDetourSeconds))
+	}
+	if len(r.Comparisons) > 0 {
+		p("\n## Paired comparisons (A vs B, per-seed)\n\n")
+		p("| comparison | metric | mean diff | wins/losses/ties | sign p |\n")
+		p("|---|---|---|---|---|\n")
+		for _, cmp := range r.Comparisons {
+			for _, m := range cmp.Metrics {
+				p("| %s | %s | %s | %d/%d/%d | %s |\n",
+					cmp.Label, m.Metric, ci(Aggregate{Mean: m.Paired.Diff.Mean, Half: m.Paired.Diff.Half}),
+					m.Paired.Wins, m.Paired.Losses, m.Paired.Ties, fnum(m.Paired.SignP))
+			}
+		}
+	}
+	return err
+}
+
+// CSV writes one long-format row per (cell, metric): grid key, sample
+// count, mean, CI half-width, median, min, max.
+func (r *Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"matrix", "scenario", "fleet", "algorithm", "metric", "n", "mean", "half", "median", "min", "max"}); err != nil {
+		return err
+	}
+	metrics := []struct {
+		name string
+		get  func(CellStats) Aggregate
+	}{
+		{"serve_rate", func(s CellStats) Aggregate { return s.ServeRate }},
+		{"revenue", func(s CellStats) Aggregate { return s.Revenue }},
+		{"mean_wait_seconds", func(s CellStats) Aggregate { return s.MeanWaitSeconds }},
+		{"canceled", func(s CellStats) Aggregate { return s.Canceled }},
+		{"declines", func(s CellStats) Aggregate { return s.Declines }},
+		{"travel_abs_err_seconds", func(s CellStats) Aggregate { return s.TravelAbsErrSecs }},
+		{"shared_rate", func(s CellStats) Aggregate { return s.SharedRate }},
+		{"mean_detour_seconds", func(s CellStats) Aggregate { return s.MeanDetourSeconds }},
+	}
+	for _, c := range r.Cells {
+		for _, m := range metrics {
+			a := m.get(c.Stats)
+			row := []string{
+				r.Name, c.Scenario, strconv.Itoa(c.Fleet), c.Algorithm, m.name,
+				strconv.Itoa(a.N), fnum(a.Mean), fnum(a.Half), fnum(a.Median), fnum(a.Min), fnum(a.Max),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the machine-readable report (the EXP_*.json schema).
+func (r *Result) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses an EXP_*.json report and validates that it is
+// non-degenerate: at least one cell, every cell carrying trials, and
+// every comparison carrying paired metrics. The CI smoke step and
+// downstream tooling share this check.
+func ReadReport(rd io.Reader) (*Result, error) {
+	var r Result
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("matrix: parsing report: %w", err)
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("matrix: report has no name")
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("matrix: report %q has no cells", r.Name)
+	}
+	for _, c := range r.Cells {
+		if len(c.Trials) == 0 {
+			return nil, fmt.Errorf("matrix: report %q cell %s has no trials", r.Name, c.CellKey)
+		}
+		if c.Stats.ServeRate.N != len(c.Trials) {
+			return nil, fmt.Errorf("matrix: report %q cell %s aggregates %d trials of %d",
+				r.Name, c.CellKey, c.Stats.ServeRate.N, len(c.Trials))
+		}
+	}
+	for _, cmp := range r.Comparisons {
+		if len(cmp.Metrics) == 0 {
+			return nil, fmt.Errorf("matrix: report %q comparison %q has no metrics", r.Name, cmp.Label)
+		}
+	}
+	return &r, nil
+}
