@@ -37,6 +37,7 @@ import (
 
 	"mrvd"
 	"mrvd/internal/load"
+	"mrvd/internal/obs"
 )
 
 func main() {
@@ -117,6 +118,7 @@ func main() {
 	fmt.Printf("latency ms:  p50=%.2f  p95=%.2f  p99=%.2f  mean=%.2f  max=%.2f  (n=%d)\n",
 		l.P50MS, l.P95MS, l.P99MS, l.MeanMS, l.MaxMS, l.Count)
 	printShardStats(*url)
+	printPhaseBreakdown(*url)
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -153,5 +155,61 @@ func printShardStats(baseURL string) {
 	for _, s := range stats.Shards {
 		fmt.Printf("  shard %d: regions=%d drivers=%d admitted=%d borrowed=%d served=%d reneged=%d canceled=%d declined=%d batch(avg=%.2fms max=%.2fms)\n",
 			s.Shard, s.Regions, s.Drivers, s.Admitted, s.BorrowedIn, s.Served, s.Reneged, s.Canceled, s.Declined, s.AvgBatchMS, s.MaxBatchMS)
+	}
+}
+
+// printPhaseBreakdown scrapes the gateway's /metrics endpoint and shows
+// where dispatch wall time went per batch phase, plus the gateway's own
+// submit→terminal latency histogram; silent when the gateway runs
+// without -metrics.
+func printPhaseBreakdown(baseURL string) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return
+	}
+	if phases := fams["mrvd_dispatch_phase_seconds"]; phases != nil {
+		// The text form carries cumulative buckets plus _sum/_count per
+		// phase; the per-phase totals are the <phase>_sum samples.
+		sums := map[string]float64{}
+		counts := map[string]float64{}
+		for _, s := range phases.Samples {
+			switch s.Name {
+			case "mrvd_dispatch_phase_seconds_sum":
+				sums[s.Labels["phase"]] = s.Value
+			case "mrvd_dispatch_phase_seconds_count":
+				counts[s.Labels["phase"]] = s.Value
+			}
+		}
+		if len(sums) > 0 {
+			fmt.Printf("phases:      (engine dispatch wall time)\n")
+			for _, phase := range []string{"admit", "build", "dispatch", "apply"} {
+				if n := counts[phase]; n > 0 {
+					fmt.Printf("  %-9s rounds=%-8.0f total=%.3fs mean=%.6fs\n",
+						phase, n, sums[phase], sums[phase]/n)
+				}
+			}
+		}
+	}
+	if lat := fams["mrvd_submit_terminal_seconds"]; lat != nil {
+		var sum, count float64
+		for _, s := range lat.Samples {
+			switch s.Name {
+			case "mrvd_submit_terminal_seconds_sum":
+				sum = s.Value
+			case "mrvd_submit_terminal_seconds_count":
+				count = s.Value
+			}
+		}
+		if count > 0 {
+			fmt.Printf("gateway:     submit→terminal mean=%.3fs (n=%.0f, server-side)\n", sum/count, count)
+		}
 	}
 }

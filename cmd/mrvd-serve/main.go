@@ -13,6 +13,15 @@
 //	           [-cancel-rate 0] [-decline-prob 0] [-decline-cooldown 0]
 //	           [-travel-noise 0] [-scenario-seed 0]
 //	           [-pool-capacity 0] [-pool-detour 0]
+//	           [-metrics] [-pprof] [-trace-out spans.jsonl]
+//
+// -metrics instruments the engine and serves GET /metrics in Prometheus
+// text format (dispatch phase timings, coster cache counters, pool
+// search counters, per-shard round timings, submit→terminal latency);
+// -pprof mounts net/http/pprof under /debug/pprof/; -trace-out streams
+// one JSON span per terminal order (submit → admit → commit → pickup →
+// dropoff/cancel/renege with per-phase durations) to a file. All off by
+// default — an uninstrumented session runs the exact baseline code path.
 //
 // The scenario flags enable the disruption layer: -cancel-rate makes
 // waiting riders abandon stochastically (riders can always cancel
@@ -78,6 +87,10 @@ func main() {
 
 		poolCap    = flag.Int("pool-capacity", 0, "pooling: onboard rider capacity per driver (0 or 1 = off, >= 2 = shared rides)")
 		poolDetour = flag.Float64("pool-detour", 0, "pooling: max per-rider detour in seconds (0 = default 300)")
+
+		metricsOn = flag.Bool("metrics", false, "instrument the engine and expose GET /metrics (Prometheus text)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
+		traceOut  = flag.String("trace-out", "", "append one JSON span per terminal order to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -151,6 +164,25 @@ func main() {
 			opts = append(opts, mrvd.WithCoster(mrvd.GraphCoster(*seed)))
 		}
 	}
+	var reg *mrvd.MetricsRegistry
+	if *metricsOn {
+		reg = mrvd.NewMetricsRegistry()
+	}
+	var tracer *mrvd.SpanTracer
+	if *traceOut != "" {
+		w := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			w = f
+		}
+		tracer = mrvd.NewSpanTracer(w)
+	}
+	if reg != nil || tracer != nil {
+		opts = append(opts, mrvd.WithObservability(reg, tracer))
+	}
 	svc, err := mrvd.NewService(opts...)
 	if err != nil {
 		fatal(err)
@@ -161,6 +193,8 @@ func main() {
 		Fleet:           *drivers,
 		MaxPending:      *maxPending,
 		DefaultPatience: *patience,
+		Metrics:         reg,
+		Pprof:           *pprofOn,
 	})
 	if err != nil {
 		fatal(err)
@@ -203,6 +237,12 @@ func main() {
 	}
 	fmt.Printf("  POST %s/v1/orders  {\"pickup\":{\"lng\":..,\"lat\":..},\"dropoff\":{..}}  (?wait=true to long-poll)\n", *addr)
 	fmt.Printf("  DELETE %s/v1/orders/{id}  (rider-initiated cancel)\n", *addr)
+	if *metricsOn {
+		fmt.Printf("  GET %s/metrics  (Prometheus text)\n", *addr)
+	}
+	if *pprofOn {
+		fmt.Printf("  GET %s/debug/pprof/  (profiling)\n", *addr)
+	}
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -216,6 +256,12 @@ func main() {
 	default:
 		fmt.Printf("mrvd-serve: session over: %d submitted, %d served, %d expired, %d canceled, %d declines, revenue %.0f\n",
 			m.TotalOrders, m.Served, m.Reneged, m.Canceled, m.Declines, m.Revenue)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mrvd-serve: wrote %d spans to %s\n", tracer.Count(), *traceOut)
 	}
 }
 

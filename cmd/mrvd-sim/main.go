@@ -10,6 +10,13 @@
 //	         [-cancel-rate 0] [-decline-prob 0] [-decline-cooldown 0]
 //	         [-travel-noise 0] [-scenario-seed 0]
 //	         [-pool-capacity 0] [-pool-detour 0]
+//	         [-obs] [-trace-out spans.jsonl]
+//
+// -obs instruments each run and appends a dispatch phase breakdown
+// (admit/build/dispatch/apply wall time per batch round) under the
+// algorithm's row; -trace-out streams one JSON span per terminal order.
+// Both off by default — an uninstrumented run executes the exact
+// baseline code path.
 //
 // The scenario flags run the day under disruptions: stochastic rider
 // cancellations, driver declines with cooldown, and noisy realized
@@ -58,6 +65,9 @@ func main() {
 
 		poolCap    = flag.Int("pool-capacity", 0, "pooling: onboard rider capacity per driver (0 or 1 = off, >= 2 = shared rides)")
 		poolDetour = flag.Float64("pool-detour", 0, "pooling: max per-rider detour in seconds (0 = default 300)")
+
+		obsOn    = flag.Bool("obs", false, "instrument each run and print a dispatch phase breakdown per algorithm")
+		traceOut = flag.String("trace-out", "", "append one JSON span per terminal order to this file (\"-\" = stdout; multiple -algs concatenate)")
 	)
 	flag.Parse()
 
@@ -146,18 +156,44 @@ func main() {
 		}
 		svcOpts = append(svcOpts, mrvd.WithOrders(external, nil))
 	}
-	svc, err := mrvd.NewService(svcOpts...)
-	if err != nil {
-		fatal(err)
+	var tracer *mrvd.SpanTracer
+	if *traceOut != "" {
+		w := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			w = f
+		}
+		tracer = mrvd.NewSpanTracer(w)
 	}
 
 	// History and trained predictors are built by the first algorithm's
-	// runner and shared with the rest.
+	// runner and shared with the rest. The service is rebuilt per
+	// algorithm so each run gets its own metrics registry (the phase
+	// table below is per-algorithm); without -obs or -trace-out the loop
+	// reuses one uninstrumented service.
+	var svc *mrvd.Service
 	var base *mrvd.Runner
-	fmt.Printf("%-6s %14s %8s %8s %9s %9s %10s %12s %10s\n",
-		"alg", "revenue", "served", "reneged", "canceled", "declines", "meanIdle", "pickupSec", "avgBatch")
+	fmt.Printf("%-6s %14s %8s %8s %9s %9s %10s %12s %10s %10s %10s\n",
+		"alg", "revenue", "served", "reneged", "canceled", "declines", "meanIdle", "pickupSec", "avgBatch", "p95Batch", "p99Batch")
 	for _, alg := range strings.Split(*algsFlag, ",") {
 		alg = strings.TrimSpace(alg)
+		var reg *mrvd.MetricsRegistry
+		if *obsOn {
+			reg = mrvd.NewMetricsRegistry()
+		}
+		if svc == nil || reg != nil {
+			opts := svcOpts
+			if reg != nil || tracer != nil {
+				opts = append(opts[:len(opts):len(opts)], mrvd.WithObservability(reg, tracer))
+			}
+			var err error
+			if svc, err = mrvd.NewService(opts...); err != nil {
+				fatal(err)
+			}
+		}
 		runner := svc.Runner()
 		if base != nil {
 			runner.ShareFrom(base)
@@ -172,9 +208,10 @@ func main() {
 		}
 		base = runner
 		s := m.Summary()
-		fmt.Printf("%-6s %14.0f %8d %8d %9d %9d %9.1fs %12.0f %9.4fs\n",
+		fmt.Printf("%-6s %14.0f %8d %8d %9d %9d %9.1fs %12.0f %9.4fs %9.4fs %9.4fs\n",
 			alg, s.Revenue, s.Served, s.Reneged, s.Canceled, s.Declines,
-			s.MeanIdleSeconds(), s.PickupSeconds, m.AvgBatchSeconds())
+			s.MeanIdleSeconds(), s.PickupSeconds, m.AvgBatchSeconds(),
+			m.BatchSecondsQuantile(0.95), m.BatchSecondsQuantile(0.99))
 		if s.TravelSamples > 0 {
 			fmt.Printf("       travel noise: %d trips, mean |est-real| %.1fs\n",
 				s.TravelSamples, s.MeanAbsTravelErrorSeconds())
@@ -182,6 +219,35 @@ func main() {
 		if s.SharedServed > 0 {
 			fmt.Printf("       pooled: %d shared rides, mean detour %.1fs\n",
 				s.SharedServed, s.DetourSeconds/float64(s.SharedServed))
+		}
+		if reg != nil {
+			printPhaseBreakdown(reg)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s\n", tracer.Count(), *traceOut)
+	}
+}
+
+// printPhaseBreakdown renders the run's mrvd_dispatch_phase_seconds
+// histogram family as an indented per-phase table: where each batch
+// round's wall time went (admit, build, dispatch, apply).
+func printPhaseBreakdown(reg *mrvd.MetricsRegistry) {
+	for _, fam := range reg.Gather() {
+		if fam.Name != "mrvd_dispatch_phase_seconds" {
+			continue
+		}
+		fmt.Printf("       %-10s %10s %12s %12s %12s\n", "phase", "rounds", "total", "mean", "p95")
+		for _, sample := range fam.Samples {
+			if sample.Count == 0 {
+				continue
+			}
+			fmt.Printf("       %-10s %10d %11.3fs %11.6fs %11.6fs\n",
+				sample.Labels[0], sample.Count, sample.Sum,
+				sample.Sum/float64(sample.Count), sample.Quantile(fam.Bounds, 0.95))
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"mrvd/internal/dispatch"
 	"mrvd/internal/geo"
+	"mrvd/internal/obs"
 	"mrvd/internal/pool"
 	"mrvd/internal/predict"
 	"mrvd/internal/queueing"
@@ -102,6 +103,11 @@ type Options struct {
 	// runs — e.g. a road-network coster per shard so tree caches don't
 	// contend. All instances must price identically. Nil shares Coster.
 	ShardCosters func(shard int) roadnet.Coster
+	// Obs wires the observability layer (metrics registry and order
+	// tracer, see sim.ObsConfig) into every engine the runner builds.
+	// The zero value keeps runs byte-identical to an uninstrumented
+	// build.
+	Obs sim.ObsConfig
 }
 
 // WithDefaults returns a copy of the options with every unset field
@@ -344,6 +350,7 @@ func (r *Runner) predictFn(mode PredictionMode, model predict.Predictor) (func(n
 
 // simConfig assembles the simulator configuration for one run.
 func (r *Runner) simConfig(fn func(now, tc float64) []int) sim.Config {
+	registerCosterMetrics(r.opts.Obs.Registry, r.opts.Coster)
 	return sim.Config{
 		Grid:            r.opts.City.Grid(),
 		Coster:          r.opts.Coster,
@@ -358,7 +365,59 @@ func (r *Runner) simConfig(fn func(now, tc float64) []int) sim.Config {
 		RepositionAfter: r.opts.RepositionAfter,
 		Observer:        r.opts.Observer,
 		PaceFactor:      r.opts.PaceFactor,
+		Obs:             r.opts.Obs,
 	}
+}
+
+// costerStatser is the optional query-counter capability GraphCoster
+// implements; anything exposing it gets its counters published.
+type costerStatser interface{ Stats() roadnet.CosterStats }
+
+// registerCosterMetrics publishes the aggregate query counters of every
+// stats-capable coster in cs as counter functions on reg. The closures
+// are evaluated at gather time, so /metrics always reads the live
+// counters; re-registering (each simConfig call, or shardConfig
+// swapping in per-shard costers) replaces the closure so the newest
+// session's costers win. Costers without counters register nothing —
+// the closed-form coster has no cache to observe.
+func registerCosterMetrics(reg *obs.Registry, cs ...roadnet.Coster) {
+	if reg == nil {
+		return
+	}
+	var withStats []costerStatser
+	for _, c := range cs {
+		if s, ok := c.(costerStatser); ok {
+			withStats = append(withStats, s)
+		}
+	}
+	if len(withStats) == 0 {
+		return
+	}
+	total := func() roadnet.CosterStats {
+		var sum roadnet.CosterStats
+		for _, s := range withStats {
+			sum.Add(s.Stats())
+		}
+		return sum
+	}
+	reg.CounterFunc("mrvd_coster_trees_total",
+		"Full shortest-path trees computed by single-pair Cost queries.",
+		func() int64 { return total().Trees })
+	reg.CounterFunc("mrvd_coster_partial_trees_total",
+		"Dijkstra runs issued by batched Costs queries (truncated or promoted).",
+		func() int64 { return total().PartialTrees })
+	reg.CounterFunc("mrvd_coster_settled_nodes_total",
+		"Nodes finalized across all Dijkstra runs.",
+		func() int64 { return total().SettledNodes })
+	reg.CounterFunc("mrvd_coster_cache_hits_total",
+		"Coster queries answered from the shortest-path tree cache.",
+		func() int64 { return total().CacheHits })
+	reg.CounterFunc("mrvd_coster_cache_misses_total",
+		"Coster queries that had to compute a tree (full or truncated).",
+		func() int64 { s := total(); return s.Trees + s.PartialTrees })
+	reg.CounterFunc("mrvd_coster_evictions_total",
+		"Tree-cache entries displaced by the clock sweep.",
+		func() int64 { return total().Evictions })
 }
 
 // Run executes one algorithm over the instance and returns its metrics.
@@ -402,6 +461,7 @@ func (r *Runner) shardConfig(fn func(now, tc float64) []int) shard.Config {
 		for i := range cfg.Costers {
 			cfg.Costers[i] = r.opts.ShardCosters(i)
 		}
+		registerCosterMetrics(r.opts.Obs.Registry, cfg.Costers...)
 	}
 	return cfg
 }

@@ -105,6 +105,7 @@ type costerCounters struct {
 	partials  atomic.Int64
 	settled   atomic.Int64
 	cacheHits atomic.Int64
+	evictions atomic.Int64
 }
 
 // CosterStats snapshots a GraphCoster's cumulative query counters.
@@ -124,6 +125,19 @@ type CosterStats struct {
 	SettledNodes int64
 	// CacheHits counts queries answered from the tree cache.
 	CacheHits int64
+	// Evictions counts tree-cache entries displaced by the clock
+	// (second-chance) sweep to make room for a new source's tree.
+	Evictions int64
+}
+
+// Add accumulates o into s — how a sharded runtime's per-shard coster
+// counters aggregate into one city-wide view.
+func (s *CosterStats) Add(o CosterStats) {
+	s.Trees += o.Trees
+	s.PartialTrees += o.PartialTrees
+	s.SettledNodes += o.SettledNodes
+	s.CacheHits += o.CacheHits
+	s.Evictions += o.Evictions
 }
 
 // Stats snapshots the coster's cumulative counters.
@@ -133,6 +147,7 @@ func (c *GraphCoster) Stats() CosterStats {
 		PartialTrees: c.stats.partials.Load(),
 		SettledNodes: c.stats.settled.Load(),
 		CacheHits:    c.stats.cacheHits.Load(),
+		Evictions:    c.stats.evictions.Load(),
 	}
 }
 
@@ -142,6 +157,7 @@ func (c *GraphCoster) ResetStats() {
 	c.stats.partials.Store(0)
 	c.stats.settled.Store(0)
 	c.stats.cacheHits.Store(0)
+	c.stats.evictions.Store(0)
 }
 
 // Costs implements BatchCoster. Every endpoint is snapped exactly once,
@@ -279,10 +295,16 @@ func (c *GraphCoster) Costs(sources, targets []geo.Point) [][]float64 {
 		// batch (and single-pair queries within their horizon) reuse
 		// them.
 		c.mu.Lock()
+		var evictions int64
 		for _, u := range missing {
-			c.cache.put(uniq[u], trees[u], horizons[u], c.CacheSize)
+			if c.cache.put(uniq[u], trees[u], horizons[u], c.CacheSize) {
+				evictions++
+			}
 		}
 		c.mu.Unlock()
+		if evictions > 0 {
+			c.stats.evictions.Add(evictions)
+		}
 	}
 
 	// Assemble the matrix, pricing approach legs exactly as Cost does.

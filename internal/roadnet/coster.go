@@ -121,8 +121,11 @@ func (c *GraphCoster) Cost(a, b geo.Point) float64 {
 		c.stats.trees.Add(1)
 		c.stats.settled.Add(int64(settled))
 		c.mu.Lock()
-		c.cache.put(na, tree, horizon, c.CacheSize)
+		evicted := c.cache.put(na, tree, horizon, c.CacheSize)
 		c.mu.Unlock()
+		if evicted {
+			c.stats.evictions.Add(1)
+		}
 	}
 	d := tree[nb]
 	if math.IsInf(d, 1) {
@@ -178,12 +181,13 @@ func (tc *treeCache) get(n NodeID) ([]float64, float64, bool) {
 // exist. New entries start unreferenced: a source only earns its
 // reference bit by being queried again, so a scan of one-shot sources
 // evicts itself under pressure while the re-queried hot set survives.
-func (tc *treeCache) put(n NodeID, tree []float64, horizon float64, capacity int) {
+// It reports whether an existing entry was evicted to make room.
+func (tc *treeCache) put(n NodeID, tree []float64, horizon float64, capacity int) (evicted bool) {
 	if i, ok := tc.index[n]; ok {
 		tc.slots[i].tree = tree
 		tc.slots[i].horizon = horizon
 		tc.slots[i].ref = true
-		return
+		return false
 	}
 	if capacity < 1 {
 		capacity = 1
@@ -191,7 +195,7 @@ func (tc *treeCache) put(n NodeID, tree []float64, horizon float64, capacity int
 	if len(tc.slots) < capacity {
 		tc.index[n] = len(tc.slots)
 		tc.slots = append(tc.slots, treeSlot{node: n, tree: tree, horizon: horizon})
-		return
+		return false
 	}
 	for {
 		if tc.hand >= len(tc.slots) {
@@ -207,7 +211,7 @@ func (tc *treeCache) put(n NodeID, tree []float64, horizon float64, capacity int
 		*s = treeSlot{node: n, tree: tree, horizon: horizon}
 		tc.index[n] = tc.hand
 		tc.hand++
-		return
+		return true
 	}
 }
 

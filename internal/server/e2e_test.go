@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"mrvd"
 	"mrvd/internal/load"
+	"mrvd/internal/obs"
 	"mrvd/internal/workload"
 )
 
@@ -26,10 +28,14 @@ func TestEndToEndLoad(t *testing.T) {
 	const fleet, orders, clients = 64, 240, 8
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	srv, err := New(ctx, newTestService(t, fleet, 0), Config{
+	// The gateway runs instrumented so the load run doubles as the
+	// end-to-end scrape check further down.
+	reg := mrvd.NewMetricsRegistry()
+	srv, err := New(ctx, newObsTestService(t, fleet, mrvd.WithObservability(reg, nil)), Config{
 		Algorithm:  "NEAR",
 		Fleet:      fleet,
 		MaxPending: 4096, // the main run must not shed load
+		Metrics:    reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +111,36 @@ func TestEndToEndLoad(t *testing.T) {
 	}
 	if stats.InFlight != 0 {
 		t.Errorf("in-flight %d after the run, want 0", stats.InFlight)
+	}
+
+	// The live session's /metrics scrape parses and agrees with the
+	// harness: every order admitted, every order terminal, a gateway
+	// latency sample per order, and dispatch phases observed.
+	fams := scrapeMetrics(t, ts.URL)
+	famTotal := func(name, sample string) float64 {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("family %s missing; scrape has %v", name, obs.FamilyNames(fams))
+		}
+		var total float64
+		for _, s := range f.Samples {
+			if s.Name == sample {
+				total += s.Value
+			}
+		}
+		return total
+	}
+	if n := famTotal("mrvd_orders_admitted_total", "mrvd_orders_admitted_total"); n != orders {
+		t.Errorf("admitted metric = %v, want %d", n, orders)
+	}
+	if n := famTotal("mrvd_orders_terminal_total", "mrvd_orders_terminal_total"); n != orders {
+		t.Errorf("terminal metric = %v, want %d", n, orders)
+	}
+	if n := famTotal("mrvd_submit_terminal_seconds", "mrvd_submit_terminal_seconds_count"); n != orders {
+		t.Errorf("gateway latency samples = %v, want %d", n, orders)
+	}
+	if n := famTotal("mrvd_dispatch_phase_seconds", "mrvd_dispatch_phase_seconds_count"); n <= 0 {
+		t.Error("no dispatch phase observations in the e2e scrape")
 	}
 
 	// Shutdown: context cancel drains cleanly — the session ends, the

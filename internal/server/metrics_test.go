@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mrvd"
+	"mrvd/internal/obs"
+)
+
+// newObsTestService is newTestService plus arbitrary extra options —
+// the metrics tests need observability and coster wiring on top of the
+// standard free-running live-serve setup.
+func newObsTestService(t testing.TB, fleet int, extra ...mrvd.Option) *mrvd.Service {
+	t.Helper()
+	opts := []mrvd.Option{
+		mrvd.WithCity(mrvd.NewCity(mrvd.CityConfig{OrdersPerDay: 2000, Seed: 17})),
+		mrvd.WithFleet(fleet),
+		mrvd.WithBatchInterval(3),
+		mrvd.WithHorizon(10 * 365 * 24 * 3600),
+		mrvd.WithPrediction(mrvd.PredictNone, nil),
+	}
+	opts = append(opts, extra...)
+	svc, err := mrvd.NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// newTestServerWithService is newTestServer for a caller-built service.
+func newTestServerWithService(t testing.TB, svc *mrvd.Service, cfg Config) (*Server, *httptest.Server, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	if cfg.Fleet == 0 {
+		cfg.Fleet = 16
+	}
+	srv, err := New(ctx, svc, cfg)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		cancel()
+		<-srv.Handle().Done()
+		ts.Close()
+	})
+	return srv, ts, cancel
+}
+
+func scrapeMetrics(t *testing.T, url string) map[string]*obs.ParsedFamily {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	return fams
+}
+
+// TestMetricsEndpoint boots an instrumented gateway over a road-network
+// coster, drives orders to terminal states, and asserts the exposition
+// carries at least one family per instrumented layer: engine phases,
+// order lifecycle, coster cache, and gateway latency.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := mrvd.NewMetricsRegistry()
+	svc := newObsTestService(t, 16,
+		mrvd.WithCoster(mrvd.GraphCoster(7)),
+		mrvd.WithObservability(reg, nil),
+	)
+	srv, ts, cancel := newTestServerWithService(t, svc, Config{
+		Algorithm: "NEAR", Metrics: reg, Pprof: true,
+	})
+	defer cancel()
+	_ = srv
+
+	const orders = 5
+	for i := 0; i < orders; i++ {
+		resp, or := postOrder(t, ts, true, 600)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("order %d: status %d", i, resp.StatusCode)
+		}
+		if or.Status != "assigned" && or.Status != "expired" {
+			t.Fatalf("order %d non-terminal: %q", i, or.Status)
+		}
+	}
+
+	fams := scrapeMetrics(t, ts.URL)
+	count := func(name string) float64 {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("family %s missing; scrape has %v", name, obs.FamilyNames(fams))
+		}
+		var total float64
+		for _, s := range f.Samples {
+			switch {
+			case s.Name == name: // counter/gauge samples
+				total += s.Value
+			case s.Name == name+"_count": // histogram totals
+				total += s.Value
+			}
+		}
+		return total
+	}
+
+	// Engine phases: every batch round observed all four.
+	if n := count("mrvd_dispatch_phase_seconds"); n <= 0 {
+		t.Errorf("no dispatch phase observations")
+	}
+	// Order lifecycle: everything submitted was admitted and terminal.
+	if n := count("mrvd_orders_admitted_total"); n != orders {
+		t.Errorf("admitted = %v, want %d", n, orders)
+	}
+	if n := count("mrvd_orders_terminal_total"); n != orders {
+		t.Errorf("terminal = %v, want %d", n, orders)
+	}
+	// Coster cache: the graph coster priced pickups, so trees were
+	// built and the cache was exercised.
+	if n := count("mrvd_coster_trees_total") + count("mrvd_coster_partial_trees_total"); n <= 0 {
+		t.Errorf("no coster tree computations recorded")
+	}
+	if n := count("mrvd_coster_settled_nodes_total"); n <= 0 {
+		t.Errorf("no settled nodes recorded")
+	}
+	// Gateway latency: one submit→terminal sample per resolved order.
+	if n := count("mrvd_submit_terminal_seconds"); n != orders {
+		t.Errorf("latency samples = %v, want %d", n, orders)
+	}
+
+	// Opt-in pprof rides along.
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/: status %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpointAbsentWhenDisabled pins the opt-in contract: a
+// gateway without Config.Metrics mounts neither /metrics nor pprof.
+func TestMetricsEndpointAbsentWhenDisabled(t *testing.T) {
+	_, ts, cancel := newTestServer(t, 4, 0, Config{Algorithm: "NEAR"})
+	defer cancel()
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatsAggregatesShardCosters pins the satellite bugfix: with
+// per-shard road-network costers the top-level /v1/stats coster block
+// is the sum over shards, not the unused base coster's zeros.
+func TestStatsAggregatesShardCosters(t *testing.T) {
+	reg := mrvd.NewMetricsRegistry()
+	svc := newObsTestService(t, 16,
+		mrvd.WithShards(2),
+		mrvd.WithShardCosters(mrvd.GraphCosters(7)),
+		mrvd.WithObservability(reg, nil),
+	)
+	_, ts, cancel := newTestServerWithService(t, svc, Config{
+		Algorithm: "NEAR", Metrics: reg,
+	})
+	defer cancel()
+
+	const orders = 6
+	for i := 0; i < orders; i++ {
+		if resp, _ := postOrder(t, ts, true, 600); resp.StatusCode != http.StatusOK {
+			t.Fatalf("order %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	var stats statsResponse
+	getJSON(t, ts, "/v1/stats", &stats)
+	if len(stats.Shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(stats.Shards))
+	}
+	if stats.Coster == nil {
+		t.Fatal("top-level coster stats missing in sharded mode")
+	}
+	if stats.Coster.Trees+stats.Coster.PartialTrees == 0 {
+		t.Error("aggregated coster did no pricing work")
+	}
+	var sum int64
+	for _, sh := range stats.Shards {
+		if sh.Coster != nil {
+			sum += sh.Coster.Trees + sh.Coster.PartialTrees
+		}
+	}
+	if got := stats.Coster.Trees + stats.Coster.PartialTrees; got != sum {
+		t.Errorf("aggregate trees = %d, want sum over shards %d", got, sum)
+	}
+
+	// Sharded instrumentation surfaces per-shard round timings.
+	fams := scrapeMetrics(t, ts.URL)
+	rounds := fams["mrvd_shard_round_seconds"]
+	if rounds == nil {
+		t.Fatalf("mrvd_shard_round_seconds missing; scrape has %v", obs.FamilyNames(fams))
+	}
+	shardsSeen := map[string]bool{}
+	for _, s := range rounds.Samples {
+		if s.Name == "mrvd_shard_round_seconds_count" && s.Value > 0 {
+			shardsSeen[s.Labels["shard"]] = true
+		}
+	}
+	if len(shardsSeen) != 2 {
+		t.Errorf("round timings for shards %v, want both shards", shardsSeen)
+	}
+}

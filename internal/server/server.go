@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"mrvd"
+	"mrvd/internal/obs"
 	"mrvd/internal/roadnet"
 	"mrvd/internal/sim"
 	"mrvd/internal/trace"
@@ -33,6 +35,16 @@ type Config struct {
 	// MaxWait caps a ?wait=true long-poll (default 60s). A poll that
 	// times out returns the order's current (pending) view with 202.
 	MaxWait time.Duration
+	// Metrics, when set, mounts GET /metrics serving the registry in
+	// Prometheus text format and records the gateway's submit→terminal
+	// wall-clock latency histogram into it. Pass the same registry to
+	// mrvd.WithObservability to expose the engine's instruments through
+	// the same endpoint. Nil (the default) mounts nothing.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof under GET /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and cost CPU while
+	// scraped, so they are opt-in like Metrics.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +75,9 @@ type Server struct {
 	hub    *hub
 	mux    *http.ServeMux
 	began  time.Time
+	// latHist is the submit→terminal wall-clock latency histogram,
+	// nil unless Config.Metrics is set.
+	latHist *obs.Histogram
 }
 
 // New starts a serve session on svc and wraps it in a gateway. The
@@ -78,6 +93,11 @@ func New(ctx context.Context, svc *mrvd.Service, cfg Config) (*Server, error) {
 		store: sim.NewStateStore(cfg.Fleet),
 		hub:   newHub(),
 		began: time.Now(),
+	}
+	if cfg.Metrics != nil {
+		s.latHist = cfg.Metrics.Histogram("mrvd_submit_terminal_seconds",
+			"Wall-clock latency from gateway submit to the order's terminal outcome.",
+			obs.LatencyBuckets)
 	}
 	handle, err := svc.Start(ctx, cfg.Algorithm, cfg.Starts, s.store, s.hub.observer())
 	if err != nil {
@@ -99,6 +119,16 @@ func New(ctx context.Context, svc *mrvd.Service, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Metrics != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -270,6 +300,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	o.ID = id
 	s.store.TrackSubmitted(o)
+	if s.latHist != nil {
+		// Relay the outcome through a watcher that stamps the latency
+		// histogram: every submitted order receives exactly one Outcome
+		// (finish cancels stragglers), so the goroutine never leaks, and
+		// the wait path below consumes the relay unchanged.
+		inner := outcome
+		relay := make(chan mrvd.Outcome, 1)
+		go func() {
+			out, ok := <-inner
+			s.latHist.Observe(time.Since(accepted).Seconds())
+			if ok {
+				relay <- out
+			}
+			close(relay)
+		}()
+		outcome = relay
+	}
 
 	if r.URL.Query().Get("wait") != "true" {
 		resp := orderViewResponse(sim.OrderView{
@@ -444,11 +491,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Done = true
 	default:
 	}
-	if c, ok := s.svc.Options().Coster.(interface{ Stats() roadnet.CosterStats }); ok {
+	if s.svc.Options().ShardCosters != nil && len(resp.Shards) > 0 {
+		// Per-shard costers: the top-level view is their sum. The base
+		// Coster is unused in this mode (each shard prices on its own
+		// instance), so asserting only on it — the old behaviour — left
+		// Coster null or all-zero while the shards did all the work.
+		var agg roadnet.CosterStats
+		var have bool
+		for i := range resp.Shards {
+			if c := resp.Shards[i].Coster; c != nil {
+				agg.Add(*c)
+				have = true
+			}
+		}
+		if have {
+			resp.Coster = &agg
+		}
+	} else if c, ok := s.svc.Options().Coster.(interface{ Stats() roadnet.CosterStats }); ok {
+		// One coster instance, possibly shared across shards: read it
+		// once (summing the shard views would multiply-count it).
 		st := c.Stats()
 		resp.Coster = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves Config.Metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Metrics.WriteText(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"mrvd/internal/geo"
+	"mrvd/internal/obs"
 	"mrvd/internal/roadnet"
 	"mrvd/internal/sim"
 	"mrvd/internal/stats"
@@ -55,8 +57,11 @@ type Stats struct {
 	// their pickup region.
 	Admitted   int `json:"admitted"`
 	BorrowedIn int `json:"borrowed_in"`
-	Served     int `json:"served"`
-	Reneged    int `json:"reneged"`
+	// RehomedIn counts drivers migrated into this shard by fleet
+	// re-homing (trips whose dropoff crossed a frontier).
+	RehomedIn int `json:"rehomed_in"`
+	Served    int `json:"served"`
+	Reneged   int `json:"reneged"`
 	// Canceled counts rider-initiated cancellations admitted by this
 	// shard; Declined counts driver-declined assignments here.
 	Canceled int `json:"canceled"`
@@ -116,6 +121,13 @@ type Runtime struct {
 	statsMu    sync.Mutex
 	stats      []Stats
 	batchSumMS []float64
+
+	// Per-shard registry instruments, pre-resolved so the round loop
+	// never takes the registry's family lock; all nil when Sim.Obs has
+	// no registry.
+	obsRound    []*obs.Histogram
+	obsBorrowed []*obs.Counter
+	obsRehomed  []*obs.Counter
 }
 
 // New partitions the grid, splits the fleet by start region, and builds
@@ -172,6 +184,24 @@ func New(cfg Config, src sim.OrderSource, starts []geo.Point) (*Runtime, error) 
 		rt.routed = make(map[trace.OrderID]ID)
 	}
 
+	if r := cfg.Sim.Obs.Registry; r != nil {
+		roundHist := r.HistogramVec("mrvd_shard_round_seconds",
+			"Wall time of one shard's dispatch step per lockstep round.",
+			obs.DefBuckets, "shard")
+		borrowed := r.CounterVec("mrvd_shard_borrowed_total",
+			"Frontier orders admitted to this shard under CandidateBorrow although another shard owns their pickup region.",
+			"shard")
+		rehomed := r.CounterVec("mrvd_shard_rehomed_total",
+			"Drivers migrated into this shard by fleet re-homing.",
+			"shard")
+		for s := 0; s < cfg.Shards; s++ {
+			label := strconv.Itoa(s)
+			rt.obsRound = append(rt.obsRound, roundHist.With(label))
+			rt.obsBorrowed = append(rt.obsBorrowed, borrowed.With(label))
+			rt.obsRehomed = append(rt.obsRehomed, rehomed.With(label))
+		}
+	}
+
 	probes := make([]SupplyProbe, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
 		ecfg := cfg.Sim
@@ -179,6 +209,7 @@ func New(cfg Config, src sim.OrderSource, starts []geo.Point) (*Runtime, error) 
 		ecfg.PaceFactor = 0          // the coordinator paces the rounds
 		ecfg.StopWhenDrained = false // the coordinator decides drain city-wide
 		ecfg.Shifts = shardShifts[s]
+		ecfg.Obs.Shard = s
 		if cfg.Costers != nil {
 			ecfg.Coster = cfg.Costers[s]
 		}
@@ -275,6 +306,9 @@ func (rt *Runtime) Run(ctx context.Context, newDispatcher func(shard int) (sim.D
 				rt.stats[s].BorrowedIn++
 			}
 			rt.statsMu.Unlock()
+			if borrowed && rt.obsBorrowed != nil {
+				rt.obsBorrowed[s].Inc()
+			}
 		}
 		if done {
 			rt.srcDone = true
@@ -432,7 +466,11 @@ func (rt *Runtime) rehomeFleet() {
 			rt.statsMu.Lock()
 			rt.stats[i].Drivers--
 			rt.stats[mv.to].Drivers++
+			rt.stats[mv.to].RehomedIn++
 			rt.statsMu.Unlock()
+			if rt.obsRehomed != nil {
+				rt.obsRehomed[mv.to].Inc()
+			}
 		}
 	}
 }
@@ -466,6 +504,9 @@ func (rt *Runtime) allDrained() bool {
 // recordBatch folds one shard's dispatch wall time into its stats.
 func (rt *Runtime) recordBatch(i int, d time.Duration) {
 	ms := d.Seconds() * 1000
+	if rt.obsRound != nil {
+		rt.obsRound[i].Observe(d.Seconds())
+	}
 	rt.statsMu.Lock()
 	defer rt.statsMu.Unlock()
 	s := &rt.stats[i]

@@ -86,6 +86,12 @@ type Config struct {
 	// byte-identical to a single-trip run: same Summary, same idle
 	// ledger, same event stream.
 	Pooling pool.Config
+	// Obs wires the optional observability layer: a metrics registry
+	// receiving phase timings and lifecycle counters, and/or a tracer
+	// emitting one span per terminal order. The zero value disables
+	// both; enabled, only wall-clock data outside Summary is touched,
+	// so determinism contracts hold either way.
+	Obs ObsConfig
 	// PaceFactor paces the batch loop against the wall clock: the
 	// simulation advances at most PaceFactor simulated seconds per wall
 	// second (1 = real time). This is what lets wall-clock producers
@@ -199,6 +205,10 @@ type Engine struct {
 	// multi-rider trips — the single-trip path pays nothing beyond a
 	// nil test.
 	ps *poolState
+	// obs is the observability machinery, nil unless Config.Obs wires
+	// a registry or tracer — the uninstrumented path pays one nil
+	// check per hook site.
+	obs *obsState
 	// cancelSrc is the order source's cancellation feed when it has one
 	// (ChannelSource, the shard runtime's feedSource); nil otherwise.
 	cancelSrc CancelableSource
@@ -251,6 +261,9 @@ func NewWithSource(cfg Config, src OrderSource, driverStarts []geo.Point) *Engin
 	}
 	if cfg.Pooling.Enabled() {
 		e.ps = newPoolState(cfg.Pooling)
+	}
+	if cfg.Obs.Enabled() {
+		e.obs = newObsState(cfg.Obs)
 	}
 	if cs, ok := src.(CancelableSource); ok {
 		e.cancelSrc = cs
@@ -363,18 +376,32 @@ func (e *Engine) Begin() error {
 // same engine goroutine — by StepDispatch for the same now, unless the
 // run is ending.
 func (e *Engine) StepAdmit(now float64) {
+	var t0 time.Time
+	if e.obs != nil {
+		t0 = time.Now()
+	}
 	e.admitOrders(now)
 	e.rejoinDrivers(now)
 	e.processShifts(now)
 	e.processCancels(now)
 	e.renegeExpired(now)
+	if e.obs != nil {
+		e.obs.phase("admit", time.Since(t0).Seconds())
+	}
 }
 
 // StepDispatch runs the dispatch phase of the batch at time now: batch
 // context construction, the OnBatchStart hook, idle-estimate capture,
 // the dispatcher's assignment and its commitment, and repositioning.
 func (e *Engine) StepDispatch(now float64, d Dispatcher) error {
+	var t0 time.Time
+	if e.obs != nil {
+		t0 = time.Now()
+	}
 	bctx := e.buildContext(now)
+	if e.obs != nil {
+		e.obs.phase("build", time.Since(t0).Seconds())
+	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnBatchStart(BatchStartEvent{
 			Now:       now,
@@ -396,13 +423,21 @@ func (e *Engine) StepDispatch(now float64, d Dispatcher) error {
 
 	start := time.Now()
 	assignments := d.Assign(bctx)
-	e.metrics.BatchSeconds = append(e.metrics.BatchSeconds, time.Since(start).Seconds())
+	dispatchSeconds := time.Since(start).Seconds()
+	e.metrics.BatchSeconds = append(e.metrics.BatchSeconds, dispatchSeconds)
 	e.metrics.Batches++
+	if e.obs != nil {
+		e.obs.phase("dispatch", dispatchSeconds)
+		t0 = time.Now()
+	}
 
 	if err := e.apply(now, bctx, assignments); err != nil {
 		return err
 	}
 	e.reposition(now, bctx)
+	if e.obs != nil {
+		e.obs.phase("apply", time.Since(t0).Seconds())
+	}
 	return nil
 }
 
@@ -570,6 +605,9 @@ func (e *Engine) admitOrders(now float64) {
 		if e.byID != nil {
 			e.byID[o.ID] = r
 		}
+		if e.obs != nil {
+			e.obs.admit(o, now)
+		}
 		if !e.sized {
 			e.metrics.TotalOrders++
 		}
@@ -647,6 +685,9 @@ func (e *Engine) compactWaiting() {
 func (e *Engine) cancelRider(now float64, r *Rider, explicit bool) {
 	r.Status = CanceledStatus
 	e.metrics.Canceled++
+	if e.obs != nil {
+		e.obs.canceled(r.Order.ID, now)
+	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnCanceled(CanceledEvent{Now: now, Rider: r, Explicit: explicit})
 	}
@@ -694,6 +735,9 @@ func (e *Engine) renegeExpired(now float64) {
 		if r.Order.Deadline < now {
 			r.Status = RenegedStatus
 			e.metrics.Reneged++
+			if e.obs != nil {
+				e.obs.reneged(r.Order.ID, now)
+			}
 			if e.cfg.Observer != nil {
 				e.cfg.Observer.OnExpired(ExpiredEvent{Now: now, Rider: r})
 			}
@@ -967,8 +1011,17 @@ func (e *Engine) apply(now float64, ctx *Context, assignments []Assignment) erro
 			// of the whole-trip completion.
 			e.startPlan(rider, drv.ID, now+realPickup, freeAt, realTrip, realPickup)
 			stops = 2
+			if e.obs != nil {
+				// The span stays open: pickup and dropoff realize as the
+				// plan's stops complete.
+				e.obs.commit(rider.Order.ID, now, drv.ID, false)
+			}
 		} else {
 			heap.Push(&e.busy, completion{freeAt: freeAt, driver: drv.ID})
+			if e.obs != nil {
+				// A solo commit realizes its whole trip now.
+				e.obs.servedSolo(now, rider.Order.ID, drv.ID, rider.PickedAt, freeAt)
+			}
 		}
 
 		e.insertFutureRejoin(rider.DestRegion, freeAt)

@@ -92,6 +92,9 @@ func (e *Engine) advancePlan(now float64, id DriverID, p *pool.Plan) {
 			if pr, ok := e.ps.riders[st.Order]; ok {
 				pr.r.PickedAt = st.ETA
 			}
+			if e.obs != nil {
+				e.obs.pickedUp(st.Order, st.ETA)
+			}
 			if e.cfg.Observer != nil {
 				e.cfg.Observer.OnPickedUp(PickedUpEvent{
 					Now: now, At: st.ETA, Order: st.Order, Driver: id,
@@ -109,6 +112,9 @@ func (e *Engine) advancePlan(now float64, id DriverID, p *pool.Plan) {
 			if shared {
 				e.metrics.SharedServed++
 				e.metrics.DetourSeconds += detour
+			}
+			if e.obs != nil {
+				e.obs.droppedOff(st.Order, st.ETA)
 			}
 			if e.cfg.Observer != nil {
 				e.cfg.Observer.OnDroppedOff(DroppedOffEvent{
@@ -182,6 +188,9 @@ func (e *Engine) cancelPooled(now float64, r *Rider) {
 
 	r.Status = CanceledStatus
 	e.metrics.Canceled++
+	if e.obs != nil {
+		e.obs.canceled(r.Order.ID, now)
+	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnCanceled(CanceledEvent{Now: now, Rider: r, Explicit: true})
 	}
@@ -279,6 +288,10 @@ func (e *Engine) applyPooled(now float64, ctx *Context, a Assignment, usedR map[
 	e.metrics.Revenue += rider.TripCost
 	e.metrics.PickupSeconds += wait
 	e.metrics.Served++
+	if e.obs != nil {
+		e.obs.poolCommit()
+		e.obs.commit(rider.Order.ID, now, opt.Driver, true)
+	}
 
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnAssigned(AssignedEvent{
@@ -428,6 +441,7 @@ func (e *Engine) buildPoolOptions(now float64, ctx *Context) {
 	}
 
 	maxDetour := ps.cfg.Detour()
+	evaluated, feasible := 0, 0
 	for wi, list := range cands {
 		if len(list) == 0 {
 			continue
@@ -445,12 +459,17 @@ func (e *Engine) buildPoolOptions(now float64, ctx *Context) {
 			if found >= e.cfg.MaxCandidatesPerRider {
 				break
 			}
+			evaluated++
 			ins, ok := pool.Best(plans[pi].p, req, ps.cfg.Capacity, maxDetour, cost)
 			if !ok {
 				continue
 			}
+			feasible++
 			ctx.PoolOptions = append(ctx.PoolOptions, PoolOption{R: int32(wi), Driver: plans[pi].id, Ins: ins})
 			found++
 		}
+	}
+	if e.obs != nil {
+		e.obs.poolSearch(evaluated, feasible)
 	}
 }

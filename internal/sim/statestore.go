@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -94,8 +95,12 @@ type StoreStats struct {
 	Repositioned int `json:"repositioned"`
 	// Batch cycle wall-clock timings (milliseconds): the gap between
 	// consecutive batch starts, i.e. dispatch work plus pacing sleep.
+	// The percentiles are nearest-rank over every gap seen so far.
 	AvgBatchGapMS float64 `json:"avg_batch_gap_ms"`
 	MaxBatchGapMS float64 `json:"max_batch_gap_ms"`
+	BatchGapP50MS float64 `json:"batch_gap_p50_ms"`
+	BatchGapP95MS float64 `json:"batch_gap_p95_ms"`
+	BatchGapP99MS float64 `json:"batch_gap_p99_ms"`
 	// Revenue and PickupSeconds accumulate over assignments.
 	Revenue       float64 `json:"revenue"`
 	PickupSeconds float64 `json:"pickup_seconds"`
@@ -126,6 +131,7 @@ type StateStore struct {
 
 	gapCount      int
 	gapSumMS      float64
+	gapsMS        []float64
 	lastBatchWall time.Time
 }
 
@@ -190,6 +196,7 @@ func (s *StateStore) OnBatchStart(e BatchStartEvent) {
 		gap := now.Sub(s.lastBatchWall).Seconds() * 1000
 		s.gapCount++
 		s.gapSumMS += gap
+		s.gapsMS = append(s.gapsMS, gap)
 		s.stats.AvgBatchGapMS = s.gapSumMS / float64(s.gapCount)
 		if gap > s.stats.MaxBatchGapMS {
 			s.stats.MaxBatchGapMS = gap
@@ -376,9 +383,25 @@ func (s *StateStore) Drivers() []DriverView {
 	return out
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, with nearest-rank
+// batch-gap percentiles computed over the gaps seen so far.
 func (s *StateStore) Stats() StoreStats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	gaps := append([]float64(nil), s.gapsMS...)
+	s.mu.RUnlock()
+	if len(gaps) > 0 {
+		sort.Float64s(gaps)
+		q := func(p float64) float64 {
+			i := int(math.Ceil(p*float64(len(gaps)))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return gaps[i]
+		}
+		st.BatchGapP50MS = q(0.50)
+		st.BatchGapP95MS = q(0.95)
+		st.BatchGapP99MS = q(0.99)
+	}
+	return st
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 
 	"mrvd/internal/geo"
 	"mrvd/internal/trace"
@@ -268,6 +269,26 @@ func (m *Metrics) AvgBatchSeconds() float64 {
 		s += b
 	}
 	return s / float64(len(m.BatchSeconds))
+}
+
+// BatchSecondsQuantile returns the nearest-rank p-quantile (0 < p <=
+// 1) of the per-batch dispatcher wall times, 0 without batches. It
+// sorts a copy, so BatchSeconds keeps its batch order.
+func (m *Metrics) BatchSecondsQuantile(p float64) float64 {
+	n := len(m.BatchSeconds)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), m.BatchSeconds...)
+	sort.Float64s(s)
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return s[i]
 }
 
 // MaxBatchSeconds returns the worst-case dispatcher wall time.

@@ -50,9 +50,12 @@
 package mrvd
 
 import (
+	"io"
+
 	"mrvd/internal/core"
 	"mrvd/internal/dispatch"
 	"mrvd/internal/geo"
+	"mrvd/internal/obs"
 	"mrvd/internal/pool"
 	"mrvd/internal/predict"
 	"mrvd/internal/queueing"
@@ -185,6 +188,32 @@ type (
 	// Insertion is one feasible placement of an order into a RoutePlan.
 	Insertion = pool.Insertion
 )
+
+// Observability types (see WithObservability).
+type (
+	// MetricsRegistry collects counters, gauges and histograms from every
+	// instrumented layer and renders them in Prometheus text format
+	// (WriteText) — dependency-free and safe for concurrent use.
+	MetricsRegistry = obs.Registry
+	// MetricFamily is one gathered metric family snapshot.
+	MetricFamily = obs.Family
+	// Span is one order's lifecycle record: submit → admit → commit →
+	// pickup → terminal, with per-phase durations and attribution.
+	Span = obs.Span
+	// SpanTracer streams order-lifecycle spans as JSON lines.
+	SpanTracer = obs.Tracer
+	// ObsConfig wires a registry and/or tracer into a raw sim.Config;
+	// Service callers use WithObservability instead.
+	ObsConfig = sim.ObsConfig
+)
+
+// NewMetricsRegistry returns an empty metrics registry to pass to
+// WithObservability (and the gateway's Config.Metrics).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanTracer returns a tracer writing one JSON span per line to w.
+// Close it after the run to flush and release w.
+func NewSpanTracer(w io.Writer) *SpanTracer { return obs.NewTracer(w) }
 
 // Sharded runtime types (see WithShards).
 type (

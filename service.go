@@ -307,6 +307,27 @@ func WithShardCosters(f func(shard int) Coster) Option {
 	}
 }
 
+// WithObservability wires the metrics registry and/or order-lifecycle
+// tracer into every run and serve session of the service: dispatch
+// phase timings, terminal-outcome counters, pool search counters and
+// coster cache counters land in reg (scrape with reg.WriteText or the
+// gateway's /metrics), and every order that reaches a terminal state
+// emits one JSON span to tracer. Either may be nil to enable just the
+// other. Unlike WithObserver this layer is engine-internal and adds
+// only a nil check per hook when disabled — omitting the option keeps
+// runs byte-identical to an uninstrumented build. The registry and
+// tracer are safe to share across shards and concurrent sessions.
+func WithObservability(reg *MetricsRegistry, tracer *SpanTracer) Option {
+	return func(s *Service) {
+		if reg == nil && tracer == nil {
+			s.failf("WithObservability: nil registry and tracer (omit the option instead)")
+			return
+		}
+		s.opts.Obs.Registry = reg
+		s.opts.Obs.Tracer = tracer
+	}
+}
+
 // WithObserver subscribes an event observer to every run: batch starts,
 // assignments, expiries and repositions stream out as they happen
 // instead of being scraped from Metrics afterwards. Compose several with
