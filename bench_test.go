@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"mrvd/internal/dispatch"
 	"mrvd/internal/experiments"
@@ -613,4 +614,108 @@ func BenchmarkObsDispatch(b *testing.B) {
 		}
 		b.ReportMetric(float64(admitted)*float64(b.N)/b.Elapsed().Seconds(), "orders/sec")
 	})
+}
+
+// BenchmarkTimeseriesDispatch measures the windowed collector's cost on
+// top of the metrics registry: the same peak hour of a 28K-order day at
+// 200 drivers as BenchmarkObsDispatch, dispatched with collection off,
+// with a collector at the production 1s interval, and with a 1ms
+// "hot" interval. At dispatch speed a run fits in a handful of 1s
+// windows, so Collect pays the registry's atomics plus at most a few
+// full Gather+ingest passes — the <= ~1.03x target BENCH_timeseries.json
+// pins. Hot is a stress case, not a production setting: ~1000 snapshots
+// per second racing the dispatch loop, proving concurrent collection
+// cannot perturb outcomes. Every case asserts the Summary byte-identical
+// to the uninstrumented baseline — the collector only reads atomics on
+// a ticker goroutine and never feeds anything back into dispatch — and
+// each instrumented case validates its end state with one manual Tick:
+// windows advanced, the admitted-rate series materialized, and the
+// default SLO rule set was evaluated.
+func BenchmarkTimeseriesDispatch(b *testing.B) {
+	city := workload.NewCity(workload.CityConfig{OrdersPerDay: 28000, Seed: 31})
+	rng := rand.New(rand.NewSource(9))
+	day := city.GenerateDay(0, rng)
+	const peakStart, horizon = 25200.0, 3600.0
+	var orders []trace.Order
+	for _, o := range day {
+		if o.PostTime >= peakStart && o.PostTime < peakStart+horizon {
+			o.PostTime -= peakStart
+			o.Deadline -= peakStart
+			orders = append(orders, o)
+		}
+	}
+	starts := city.InitialDrivers(200, day, rng)
+	admitted := len(orders)
+
+	run := func(b *testing.B, oc sim.ObsConfig) sim.Summary {
+		cfg := sim.Config{
+			Grid: city.Grid(), Delta: 20, TC: 1200, Horizon: horizon,
+			CandidateCap: 16, Obs: oc,
+		}
+		m, err := sim.New(cfg, orders, starts).Run(context.Background(), &dispatch.IRG{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m.Summary()
+	}
+
+	// The reference run every case must reproduce byte-for-byte.
+	baseline := run(b, sim.ObsConfig{})
+
+	b.Run("Off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got := run(b, sim.ObsConfig{})
+			if got != baseline {
+				b.Fatalf("uninstrumented run diverged across repeats:\n  got:  %+v\n  base: %+v",
+					got, baseline)
+			}
+		}
+		b.ReportMetric(float64(admitted)*float64(b.N)/b.Elapsed().Seconds(), "orders/sec")
+	})
+	collect := func(name string, interval time.Duration) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var col *obs.Collector
+			for i := 0; i < b.N; i++ {
+				reg := obs.NewRegistry()
+				col = obs.NewCollector(obs.CollectorConfig{
+					Registry: reg, Interval: interval, Rules: obs.DefaultDispatchRules(),
+				})
+				col.Start()
+				got := run(b, sim.ObsConfig{Registry: reg})
+				col.Stop()
+				if got != baseline {
+					b.Fatalf("collector-instrumented run perturbed the summary:\n  got:  %+v\n  base: %+v",
+						got, baseline)
+				}
+			}
+			b.StopTimer()
+			// End-state validation on the last iteration's collector: one
+			// manual tick guarantees a final window even when the run
+			// finished inside the first interval, then the dump must show
+			// the run happened.
+			col.Tick(time.Now())
+			dump := col.Dump()
+			if dump.Windows == 0 {
+				b.Fatal("collector recorded no windows")
+			}
+			found := false
+			for _, s := range dump.Series {
+				if s.Family == "mrvd_orders_admitted_total" && s.Stat == obs.StatRate {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatalf("admitted-rate series missing from dump (%d series)", len(dump.Series))
+			}
+			if want := len(obs.DefaultDispatchRules()); len(dump.Health.Rules) != want {
+				b.Fatalf("health evaluated %d rules, want %d", len(dump.Health.Rules), want)
+			}
+			b.ReportMetric(float64(admitted)*float64(b.N)/b.Elapsed().Seconds(), "orders/sec")
+		})
+	}
+	collect("Collect", time.Second)
+	collect("Hot", time.Millisecond)
 }

@@ -1,0 +1,228 @@
+// Command mrvd-benchdiff compares benchmark results against committed
+// baselines and fails past a regression threshold — the CI gate that
+// turns the repo's BENCH_*.json files from documentation into an
+// enforced perf trajectory.
+//
+// Usage:
+//
+//	mrvd-benchdiff [-threshold 1.25] [-allocs 1.30] old new
+//
+// old and new are each either a BENCH_*.json file, a directory of them
+// (matched pairwise by file name), or a `go test -bench` text output
+// file (detected by content). Benchmarks present on only one side are
+// reported and skipped. Exit status: 0 when every shared benchmark's
+// new/old ns_per_op ratio is under -threshold (and its allocs ratio
+// under -allocs), 1 when any regresses, 2 on usage or parse errors.
+//
+// Wall timings in CI containers are noisy; the default thresholds are
+// deliberately generous and catch step-change regressions, not drift.
+// Allocation counts are near-deterministic, so their bound is tighter
+// in spirit: a crossed allocs bound means a real code change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's comparable numbers.
+type result struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	hasAllocs   bool
+}
+
+// benchFile is the committed BENCH_*.json shape (extra fields ignored).
+type benchFile struct {
+	Benchmarks []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 1.25, "fail when new/old ns_per_op exceeds this ratio")
+		allocs    = flag.Float64("allocs", 1.30, "fail when new/old allocs_per_op exceeds this ratio (0 disables)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: mrvd-benchdiff [-threshold R] [-allocs R] old new")
+		os.Exit(2)
+	}
+	if *threshold <= 0 {
+		fmt.Fprintln(os.Stderr, "mrvd-benchdiff: -threshold must be positive")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrvd-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	new_, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrvd-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(diff(os.Stdout, old, new_, *threshold, *allocs))
+}
+
+// diff prints the comparison table and returns the exit code.
+func diff(w *os.File, old, new_ map[string]result, threshold, allocBound float64) int {
+	names := make([]string, 0, len(old))
+	for n := range old {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	shared := 0
+	fmt.Fprintf(w, "%-52s %14s %14s %7s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, n := range names {
+		o := old[n]
+		nw, ok := new_[n]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14.0f %14s %7s\n", n, o.NsPerOp, "-", "gone")
+			continue
+		}
+		shared++
+		ratio := nw.NsPerOp / o.NsPerOp
+		verdict := ""
+		if ratio > threshold {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %6.2fx%s\n", n, o.NsPerOp, nw.NsPerOp, ratio, verdict)
+		if allocBound > 0 && o.hasAllocs && nw.hasAllocs && o.AllocsPerOp > 0 {
+			if ar := nw.AllocsPerOp / o.AllocsPerOp; ar > allocBound {
+				fmt.Fprintf(w, "%-52s %14.0f %14.0f %6.2fx  ALLOC REGRESSION\n",
+					n+" (allocs)", o.AllocsPerOp, nw.AllocsPerOp, ar)
+				regressions++
+			}
+		}
+	}
+	for n := range new_ {
+		if _, ok := old[n]; !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %7s\n", n, "-", new_[n].NsPerOp, "new")
+		}
+	}
+	if shared == 0 {
+		fmt.Fprintln(w, "no shared benchmarks to compare")
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d regression(s) past %.2fx\n", regressions, threshold)
+		return 1
+	}
+	fmt.Fprintf(w, "\nok: %d benchmark(s) within %.2fx\n", shared, threshold)
+	return 0
+}
+
+// load reads one side of the comparison: a file (JSON baseline or
+// bench text, sniffed) or a directory of BENCH_*.json files.
+func load(path string) (map[string]result, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	if st.IsDir() {
+		files, err := filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("%s: no BENCH_*.json files", path)
+		}
+		for _, f := range files {
+			if err := loadFile(f, out); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if err := loadFile(path, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func loadFile(path string, out map[string]result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		return parseJSON(path, data, out)
+	}
+	return parseBenchText(path, trimmed, out)
+}
+
+func parseJSON(path string, data []byte, out map[string]result) error {
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks array", path)
+	}
+	for _, b := range bf.Benchmarks {
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %s has no ns_per_op", path, b.Name)
+		}
+		out[b.Name] = result{NsPerOp: b.NsPerOp, AllocsPerOp: b.AllocsPerOp, hasAllocs: b.AllocsPerOp > 0}
+	}
+	return nil
+}
+
+// parseBenchText reads `go test -bench` output lines:
+//
+//	BenchmarkObsDispatch/Off-4   60   10173183 ns/op   109406 orders/sec   13968095 B/op   29715 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so text results match the
+// committed JSON names.
+func parseBenchText(path, text string, out map[string]result) error {
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := result{}
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+				r.hasAllocs = true
+			}
+		}
+		if r.NsPerOp > 0 {
+			out[name] = r
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("%s: neither a BENCH json file nor go test -bench output", path)
+	}
+	return nil
+}

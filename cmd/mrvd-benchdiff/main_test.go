@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const baselineJSON = `{
+  "benchmarks": [
+    {"name": "BenchmarkA/Off", "ns_per_op": 1000000, "allocs_per_op": 500},
+    {"name": "BenchmarkA/On", "ns_per_op": 1100000, "allocs_per_op": 520}
+  ]
+}`
+
+const benchText = `goos: linux
+goarch: amd64
+BenchmarkA/Off-4   60   1020000 ns/op   13968095 B/op   510 allocs/op
+BenchmarkA/On-4    60   2900000 ns/op   14157670 B/op   530 allocs/op
+PASS
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseJSONBaseline(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "BENCH_x.json", baselineJSON)
+	got, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	r := got["BenchmarkA/Off"]
+	if r.NsPerOp != 1e6 || r.AllocsPerOp != 500 || !r.hasAllocs {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestParseBenchTextStripsGOMAXPROCS(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "bench.txt", benchText)
+	got, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkA/Off"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if r.NsPerOp != 1020000 || r.AllocsPerOp != 510 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestDirectoryPairMode(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_x.json", baselineJSON)
+	got, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("dir mode parsed %d results, want 2", len(got))
+	}
+	if _, err := load(t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	old := map[string]result{
+		"A": {NsPerOp: 1e6, AllocsPerOp: 100, hasAllocs: true},
+		"B": {NsPerOp: 1e6},
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	// Within threshold: ok.
+	ok := map[string]result{
+		"A": {NsPerOp: 1.1e6, AllocsPerOp: 105, hasAllocs: true},
+		"B": {NsPerOp: 0.9e6},
+	}
+	if code := diff(devnull, old, ok, 1.25, 1.3); code != 0 {
+		t.Errorf("within-threshold exit = %d, want 0", code)
+	}
+	// ns regression past threshold: fail.
+	slow := map[string]result{
+		"A": {NsPerOp: 2e6, AllocsPerOp: 100, hasAllocs: true},
+		"B": {NsPerOp: 1e6},
+	}
+	if code := diff(devnull, old, slow, 1.25, 1.3); code != 1 {
+		t.Errorf("regression exit = %d, want 1", code)
+	}
+	// alloc regression alone: fail.
+	leaky := map[string]result{
+		"A": {NsPerOp: 1e6, AllocsPerOp: 200, hasAllocs: true},
+		"B": {NsPerOp: 1e6},
+	}
+	if code := diff(devnull, old, leaky, 1.25, 1.3); code != 1 {
+		t.Errorf("alloc regression exit = %d, want 1", code)
+	}
+	// No shared benchmarks: fail loudly rather than vacuously pass.
+	if code := diff(devnull, old, map[string]result{"C": {NsPerOp: 1}}, 1.25, 1.3); code != 1 {
+		t.Error("disjoint sets should fail")
+	}
+}

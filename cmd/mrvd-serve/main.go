@@ -14,14 +14,23 @@
 //	           [-travel-noise 0] [-scenario-seed 0]
 //	           [-pool-capacity 0] [-pool-detour 0]
 //	           [-metrics] [-pprof] [-trace-out spans.jsonl]
+//	           [-collect] [-collect-interval 1s] [-collect-windows 120]
 //
 // -metrics instruments the engine and serves GET /metrics in Prometheus
 // text format (dispatch phase timings, coster cache counters, pool
-// search counters, per-shard round timings, submit→terminal latency);
-// -pprof mounts net/http/pprof under /debug/pprof/; -trace-out streams
-// one JSON span per terminal order (submit → admit → commit → pickup →
-// dropoff/cancel/renege with per-phase durations) to a file. All off by
-// default — an uninstrumented session runs the exact baseline code path.
+// search counters, per-shard round timings, submit→terminal latency,
+// process runtime health); -pprof mounts net/http/pprof under
+// /debug/pprof/; -trace-out streams one JSON span per terminal order
+// (submit → admit → commit → pickup → dropoff/cancel/renege with
+// per-phase durations) to a file. All off by default — an
+// uninstrumented session runs the exact baseline code path.
+//
+// -collect (implies -metrics) runs the windowed time-series collector
+// over the registry: GET /v1/timeseries serves the ring-buffer dump
+// (watch it live with mrvd-top), GET /healthz reports the default
+// dispatch SLO rule states with a degraded=429/unhealthy=503 status
+// code, and each collected window streams to /v1/events subscribers
+// as a "window" SSE event.
 //
 // The scenario flags enable the disruption layer: -cancel-rate makes
 // waiting riders abandon stochastically (riders can always cancel
@@ -57,9 +66,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"mrvd"
+	"mrvd/internal/obs"
 	"mrvd/internal/server"
 )
 
@@ -91,8 +102,15 @@ func main() {
 		metricsOn = flag.Bool("metrics", false, "instrument the engine and expose GET /metrics (Prometheus text)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under GET /debug/pprof/")
 		traceOut  = flag.String("trace-out", "", "append one JSON span per terminal order to this file (\"-\" = stdout)")
+
+		collectOn       = flag.Bool("collect", false, "run the time-series collector: GET /v1/timeseries, SLO-enriched /healthz, window SSE (implies -metrics)")
+		collectInterval = flag.Duration("collect-interval", time.Second, "collection window period")
+		collectWindows  = flag.Int("collect-windows", 120, "retained collection windows (ring capacity)")
 	)
 	flag.Parse()
+	if *collectOn {
+		*metricsOn = true
+	}
 
 	// Fail fast on nonsensical flags, joined, matching the
 	// mrvd.NewService validation convention.
@@ -117,6 +135,12 @@ func main() {
 	}
 	if *poolDetour < 0 {
 		flagErrs = append(flagErrs, fmt.Errorf("-pool-detour must be >= 0, got %v", *poolDetour))
+	}
+	if *collectInterval <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-collect-interval must be positive, got %v", *collectInterval))
+	}
+	if *collectWindows <= 0 {
+		flagErrs = append(flagErrs, fmt.Errorf("-collect-windows must be positive, got %d", *collectWindows))
 	}
 	if err := errors.Join(flagErrs...); err != nil {
 		fatal(err)
@@ -167,6 +191,10 @@ func main() {
 	var reg *mrvd.MetricsRegistry
 	if *metricsOn {
 		reg = mrvd.NewMetricsRegistry()
+		// Process-runtime health (goroutines, heap, GC pauses, uptime)
+		// rides on the same registry, so /metrics, the collector and
+		// mrvd-top see it for free.
+		obs.RegisterProcessMetrics(reg)
 	}
 	var tracer *mrvd.SpanTracer
 	if *traceOut != "" {
@@ -195,6 +223,9 @@ func main() {
 		DefaultPatience: *patience,
 		Metrics:         reg,
 		Pprof:           *pprofOn,
+		Collect:         *collectOn,
+		CollectInterval: *collectInterval,
+		CollectWindows:  *collectWindows,
 	})
 	if err != nil {
 		fatal(err)
@@ -240,6 +271,16 @@ func main() {
 	if *metricsOn {
 		fmt.Printf("  GET %s/metrics  (Prometheus text)\n", *addr)
 	}
+	if *collectOn {
+		// A bare ":8080" listen address needs a host for the copy-paste
+		// mrvd-top hint.
+		hint := *addr
+		if strings.HasPrefix(hint, ":") {
+			hint = "localhost" + hint
+		}
+		fmt.Printf("  GET %s/v1/timeseries  (windowed time series; watch with mrvd-top -url http://%s)\n", *addr, hint)
+		fmt.Printf("  GET %s/healthz  (SLO rule states; 429 degraded, 503 unhealthy)\n", *addr)
+	}
 	if *pprofOn {
 		fmt.Printf("  GET %s/debug/pprof/  (profiling)\n", *addr)
 	}
@@ -248,6 +289,20 @@ func main() {
 	}
 
 	m, err := srv.Result()
+	// Close the tracer before interpreting the session result: every
+	// result path must surface a retained span write error (a full disk
+	// silently dropping spans is exactly what this reports), and Close
+	// is safe regardless of how the session ended.
+	var traceErr error
+	if tracer != nil {
+		traceErr = tracer.Close()
+		if traceErr != nil {
+			fmt.Fprintf(os.Stderr, "mrvd-serve: trace: %d spans written to %s, first write error: %v\n",
+				tracer.Count(), *traceOut, traceErr)
+		} else {
+			fmt.Printf("mrvd-serve: wrote %d spans to %s\n", tracer.Count(), *traceOut)
+		}
+	}
 	switch {
 	case err != nil && errors.Is(err, context.Canceled):
 		fmt.Println("mrvd-serve: session canceled, shut down cleanly")
@@ -257,11 +312,8 @@ func main() {
 		fmt.Printf("mrvd-serve: session over: %d submitted, %d served, %d expired, %d canceled, %d declines, revenue %.0f\n",
 			m.TotalOrders, m.Served, m.Reneged, m.Canceled, m.Declines, m.Revenue)
 	}
-	if tracer != nil {
-		if err := tracer.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("mrvd-serve: wrote %d spans to %s\n", tracer.Count(), *traceOut)
+	if traceErr != nil {
+		os.Exit(1)
 	}
 }
 

@@ -204,6 +204,11 @@ func main() {
 		}
 		m, err := runner.Run(ctx, d, mode, model)
 		if err != nil {
+			// The run is dying anyway — flush the tracer first so a
+			// retained span write error is reported alongside, not lost.
+			if terr := closeTracer(tracer, *traceOut); terr != nil {
+				fmt.Fprintf(os.Stderr, "mrvd-sim: %v\n", terr)
+			}
 			fatal(err)
 		}
 		base = runner
@@ -224,12 +229,25 @@ func main() {
 			printPhaseBreakdown(reg)
 		}
 	}
+	if err := closeTracer(tracer, *traceOut); err != nil {
+		fatal(err)
+	}
 	if tracer != nil {
-		if err := tracer.Close(); err != nil {
-			fatal(err)
-		}
 		fmt.Printf("wrote %d spans to %s\n", tracer.Count(), *traceOut)
 	}
+}
+
+// closeTracer flushes the span tracer and surfaces its retained first
+// write error — a full disk must fail the run with a non-zero exit,
+// not drop spans silently.
+func closeTracer(tracer *mrvd.SpanTracer, dest string) error {
+	if tracer == nil {
+		return nil
+	}
+	if err := tracer.Close(); err != nil {
+		return fmt.Errorf("trace: %d spans written to %s, first write error: %w", tracer.Count(), dest, err)
+	}
+	return nil
 }
 
 // printPhaseBreakdown renders the run's mrvd_dispatch_phase_seconds

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// procStats caches one runtime.ReadMemStats per short interval so a
+// scrape plus a collector tick landing together don't pay the
+// stop-the-world twice.
+type procStats struct {
+	mu      sync.Mutex
+	at      time.Time
+	mem     runtime.MemStats
+	started time.Time
+}
+
+const procStatsTTL = 250 * time.Millisecond
+
+func (p *procStats) snapshot() *runtime.MemStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now := time.Now(); now.Sub(p.at) > procStatsTTL {
+		runtime.ReadMemStats(&p.mem)
+		p.at = now
+	}
+	return &p.mem
+}
+
+// RegisterProcessMetrics registers the process-runtime gauge family
+// on the registry: goroutine count, heap in use, cumulative GC pause
+// seconds, and uptime since registration. All are pull metrics read
+// at gather time — registering costs nothing between scrapes beyond
+// one cached ReadMemStats per gather.
+func RegisterProcessMetrics(r *Registry) {
+	p := &procStats{started: time.Now()}
+	r.GaugeFunc("process_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("process_heap_inuse_bytes", "Bytes in in-use heap spans.", func() float64 {
+		return float64(p.snapshot().HeapInuse)
+	})
+	r.GaugeFunc("process_gc_pause_seconds_total", "Cumulative GC stop-the-world pause seconds.", func() float64 {
+		return float64(p.snapshot().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("process_uptime_seconds", "Seconds since process metrics were registered.", func() float64 {
+		return time.Since(p.started).Seconds()
+	})
+}

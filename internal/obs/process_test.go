@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+
+	want := map[string]bool{
+		"process_goroutines":             false,
+		"process_heap_inuse_bytes":       false,
+		"process_gc_pause_seconds_total": false,
+		"process_uptime_seconds":         false,
+	}
+	for _, f := range r.Gather() {
+		if _, ok := want[f.Name]; !ok {
+			continue
+		}
+		want[f.Name] = true
+		if f.Kind != kindGauge {
+			t.Errorf("%s: kind %q, want gauge", f.Name, f.Kind)
+		}
+		if len(f.Samples) != 1 {
+			t.Errorf("%s: %d samples, want 1", f.Name, len(f.Samples))
+			continue
+		}
+		v := f.Samples[0].Value
+		switch f.Name {
+		case "process_goroutines":
+			if v < 1 {
+				t.Errorf("goroutines = %v, want >= 1", v)
+			}
+		case "process_heap_inuse_bytes":
+			if v <= 0 {
+				t.Errorf("heap in use = %v, want > 0", v)
+			}
+		case "process_gc_pause_seconds_total", "process_uptime_seconds":
+			if v < 0 {
+				t.Errorf("%s = %v, want >= 0", f.Name, v)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("family %s not gathered", name)
+		}
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(sb.String(), "process_goroutines") {
+		t.Error("exposition missing process_goroutines")
+	}
+}

@@ -240,6 +240,22 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(values...).(*Counter)
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the named labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, nil, labels)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.child(values...).(*Gauge)
+}
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ f *family }
 
@@ -322,6 +338,13 @@ func (s Sample) Quantile(bounds []float64, p float64) float64 {
 		}
 	}
 	return math.Inf(1)
+}
+
+// Snapshot converts a histogram sample into a HistogramSnapshot over
+// the family's bucket bounds, the form the time-series layer windows
+// and interpolates quantiles from.
+func (s Sample) Snapshot(bounds []float64) HistogramSnapshot {
+	return HistogramSnapshot{Bounds: bounds, Buckets: s.Buckets, Count: s.Count, Sum: s.Sum}
 }
 
 // Gather snapshots every family, sorted by name (samples in first-use

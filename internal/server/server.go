@@ -45,6 +45,22 @@ type Config struct {
 	// default: profiling endpoints expose internals and cost CPU while
 	// scraped, so they are opt-in like Metrics.
 	Pprof bool
+	// Collect, with Metrics set, runs a windowed time-series collector
+	// over the registry: GET /v1/timeseries serves its ring-buffer dump,
+	// GET /healthz gains rule states (and a degraded/unhealthy status
+	// code), and each collected window is pushed to /v1/events
+	// subscribers as a "window" SSE event. The collector is one
+	// goroutine reading atomics on a ticker — dispatch hot paths never
+	// see it.
+	Collect bool
+	// CollectInterval is the collection period (default 1s);
+	// CollectWindows the ring capacity (default 120).
+	CollectInterval time.Duration
+	CollectWindows  int
+	// Rules is the SLO rule set the collector evaluates per window
+	// (default obs.DefaultDispatchRules). Set to a non-nil empty slice
+	// to collect time series with no rules.
+	Rules []obs.Rule
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +94,9 @@ type Server struct {
 	// latHist is the submit→terminal wall-clock latency histogram,
 	// nil unless Config.Metrics is set.
 	latHist *obs.Histogram
+	// collector is the windowed time-series collector, nil unless
+	// Config.Collect (with Metrics) is set.
+	collector *obs.Collector
 }
 
 // New starts a serve session on svc and wraps it in a gateway. The
@@ -105,8 +124,25 @@ func New(ctx context.Context, svc *mrvd.Service, cfg Config) (*Server, error) {
 	}
 	handle.SetInFlightLimit(cfg.MaxPending)
 	s.handle = handle
+	if cfg.Collect && cfg.Metrics != nil {
+		rules := cfg.Rules
+		if rules == nil {
+			rules = obs.DefaultDispatchRules()
+		}
+		s.collector = obs.NewCollector(obs.CollectorConfig{
+			Registry: cfg.Metrics,
+			Interval: cfg.CollectInterval,
+			Windows:  cfg.CollectWindows,
+			Rules:    rules,
+			OnWindow: s.publishWindow,
+		})
+		s.collector.Start()
+	}
 	go func() {
 		<-handle.Done()
+		if s.collector != nil {
+			s.collector.Stop()
+		}
 		s.hub.closeAll()
 	}()
 
@@ -121,6 +157,9 @@ func New(ctx context.Context, svc *mrvd.Service, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if cfg.Metrics != nil {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.collector != nil {
+		mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
 	}
 	if cfg.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -141,6 +180,10 @@ func (s *Server) Handle() *mrvd.ServeHandle { return s.handle }
 
 // Store exposes the live state store.
 func (s *Server) Store() *sim.StateStore { return s.store }
+
+// Collector exposes the time-series collector (nil unless
+// Config.Collect is set) — tests drive its Tick deterministically.
+func (s *Server) Collector() *obs.Collector { return s.collector }
 
 // Drain closes the order stream: already-accepted orders still
 // dispatch, new submissions fail, and the session exits once drained.
@@ -522,11 +565,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.cfg.Metrics.WriteText(w)
 }
 
+// handleTimeseries dumps the collector's retained windows — every
+// derived series aligned on one timestamp axis, plus the health
+// snapshot. This is mrvd-top's feed.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.collector.Dump())
+}
+
+// handleHealth reports liveness and, when a collector runs, the SLO
+// rule states. The status code follows the overall state — ok 200,
+// degraded 429, unhealthy (or session over) 503 — so a plain HTTP
+// check sees trouble without parsing the body.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-s.handle.Done():
 		writeError(w, http.StatusServiceUnavailable, "serve session ended")
+		return
 	default:
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}
+	if s.collector == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	h := s.collector.Health()
+	code := http.StatusOK
+	switch h.Status {
+	case obs.StateDegraded:
+		code = http.StatusTooManyRequests
+	case obs.StateUnhealthy:
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// publishWindow pushes one collected window to SSE subscribers as a
+// "window" event alongside the dispatch event stream.
+func (s *Server) publishWindow(snap obs.WindowSnapshot) {
+	if !s.hub.active() {
+		return
+	}
+	payload, err := json.Marshal(struct {
+		Type string `json:"type"`
+		obs.WindowSnapshot
+	}{Type: "window", WindowSnapshot: snap})
+	if err != nil {
+		return
+	}
+	s.hub.publish(payload)
 }

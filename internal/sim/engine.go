@@ -401,6 +401,7 @@ func (e *Engine) StepDispatch(now float64, d Dispatcher) error {
 	bctx := e.buildContext(now)
 	if e.obs != nil {
 		e.obs.phase("build", time.Since(t0).Seconds())
+		e.obs.round(len(bctx.Riders), len(bctx.Drivers))
 	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnBatchStart(BatchStartEvent{

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strconv"
 	"time"
 
 	"mrvd/internal/obs"
@@ -48,6 +49,8 @@ type obsState struct {
 	poolCandidates *obs.Counter
 	poolFeasible   *obs.Counter
 	poolCommitted  *obs.Counter
+	queueDepth     *obs.Gauge
+	driversAvail   *obs.Gauge
 
 	// spans holds the in-flight order drafts; nil when no tracer is
 	// configured.
@@ -87,6 +90,13 @@ func newObsState(cfg ObsConfig) *obsState {
 			"Pooled insertion candidates that were feasible under capacity and detour bounds.")
 		s.poolCommitted = r.Counter("mrvd_pool_committed_total",
 			"Pooled insertions committed by the dispatcher.")
+		shard := strconv.Itoa(cfg.Shard)
+		s.queueDepth = r.GaugeVec("mrvd_queue_depth",
+			"Waiting riders entering the current batch round, by shard.",
+			"shard").With(shard)
+		s.driversAvail = r.GaugeVec("mrvd_drivers_available",
+			"Available drivers entering the current batch round, by shard.",
+			"shard").With(shard)
 	}
 	if cfg.Tracer != nil {
 		s.spans = make(map[trace.OrderID]*spanDraft)
@@ -109,6 +119,15 @@ func (s *obsState) phase(name string, seconds float64) {
 	}
 	if h != nil {
 		h.Observe(seconds)
+	}
+}
+
+// round records the batch round's queue/fleet gauges — the time-series
+// layer's raw material for queue-growth trend rules.
+func (s *obsState) round(waiting, available int) {
+	if s.queueDepth != nil {
+		s.queueDepth.Set(float64(waiting))
+		s.driversAvail.Set(float64(available))
 	}
 }
 

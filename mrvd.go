@@ -205,6 +205,37 @@ type (
 	// ObsConfig wires a registry and/or tracer into a raw sim.Config;
 	// Service callers use WithObservability instead.
 	ObsConfig = sim.ObsConfig
+	// MetricsCollector snapshots a MetricsRegistry on a fixed interval
+	// into ring buffers of per-window deltas — counter rates, gauge
+	// values, interpolated histogram quantiles — and evaluates an SLO
+	// rule set per window (the gateway's /v1/timeseries and enriched
+	// /healthz feed, and mrvd-top's data source).
+	MetricsCollector = obs.Collector
+	// CollectorConfig configures a MetricsCollector: source registry,
+	// interval, ring capacity, rules, and an optional per-window hook.
+	CollectorConfig = obs.CollectorConfig
+	// TimeSeriesDump is a collector's full ring-buffer dump — the
+	// GET /v1/timeseries payload.
+	TimeSeriesDump = obs.TimeSeries
+	// HealthRule is one declarative SLO bound over collected windows,
+	// with breach ("for") and clear streaks for hysteresis.
+	HealthRule = obs.Rule
+	// HealthSelector names the metric a HealthRule watches and how to
+	// reduce it (rate, value, delta, mean, p50/p95/p99; sum, max or
+	// imbalance across label sets).
+	HealthSelector = obs.Selector
+	// HealthState is ok, degraded or unhealthy.
+	HealthState = obs.State
+	// HealthReport is the evaluated rule states plus recent transitions
+	// — the enriched /healthz body.
+	HealthReport = obs.Health
+)
+
+// Health states reported by a MetricsCollector's rule engine.
+const (
+	HealthOK        = obs.StateOK
+	HealthDegraded  = obs.StateDegraded
+	HealthUnhealthy = obs.StateUnhealthy
 )
 
 // NewMetricsRegistry returns an empty metrics registry to pass to
@@ -214,6 +245,22 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewSpanTracer returns a tracer writing one JSON span per line to w.
 // Close it after the run to flush and release w.
 func NewSpanTracer(w io.Writer) *SpanTracer { return obs.NewTracer(w) }
+
+// NewMetricsCollector returns an unstarted collector over cfg.Registry.
+// Call Start to begin interval collection and Stop to end it; the
+// gateway starts one itself when its Config.Collect is set.
+func NewMetricsCollector(cfg CollectorConfig) *MetricsCollector { return obs.NewCollector(cfg) }
+
+// DefaultDispatchRules returns the stock SLO rule set for a dispatch
+// session: a served-fraction floor, a submit-to-terminal p95 latency
+// ceiling, a queue-depth growth bound, and a shard round-time
+// imbalance bound.
+func DefaultDispatchRules() []HealthRule { return obs.DefaultDispatchRules() }
+
+// RegisterProcessMetrics adds process-runtime gauges (goroutines, heap
+// in use, cumulative GC pause, uptime) to reg, as mrvd-serve does when
+// metrics are enabled.
+func RegisterProcessMetrics(reg *MetricsRegistry) { obs.RegisterProcessMetrics(reg) }
 
 // Sharded runtime types (see WithShards).
 type (
