@@ -227,6 +227,7 @@ func (r *Runner) fork() *Runner {
 // size or batch timing don't regenerate months of history per point.
 func (r *Runner) ShareFrom(other *Runner) {
 	r.history = other.history
+	//mrvdlint:ignore maporder map-to-map copy; the resulting cache is identical whatever the visit order
 	for k, v := range other.trainedSet {
 		r.trainedSet[k] = v
 	}

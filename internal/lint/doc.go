@@ -1,0 +1,34 @@
+// Package lint is mrvd's repo-specific static-analysis engine: it
+// loads and type-checks the module with nothing but the standard
+// library (go/parser + go/types + importer.ForCompiler(…, "source", …)
+// — no x/tools), runs a configurable set of analyzers over the ASTs,
+// and reports findings with file:line positions and one-line fix
+// hints.
+//
+// The analyzers encode invariants every PR so far has defended by
+// hand and that an ordinary linter cannot know about:
+//
+//   - maporder: range over a map in a determinism-critical package
+//     iterates in randomized order; dispatch results must be
+//     seed-for-seed reproducible, so keys have to be collected and
+//     sorted before use.
+//   - wallclock: the engine runs on simulated time; time.Now /
+//     time.Since inside the simulation domain makes runs
+//     irreproducible and couples tests to the wall clock.
+//   - globalrand: top-level math/rand functions draw from the global
+//     source, breaking seed-for-seed reproducibility and the
+//     per-shard SplitSeed streams.
+//   - hotlabel: *Vec.With label resolution inside a loop body pays a
+//     family mutex + map lookup per iteration (~4% CPU in the
+//     dispatch hot path before PR 8); children must be pre-resolved
+//     at construction.
+//
+// A finding that is a deliberate exception is waived in place with an
+// audited directive:
+//
+//	//mrvdlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — a bare waiver is itself a finding — and
+// stale waivers (suppressing nothing) are findings too, so the waiver
+// inventory cannot rot.
+package lint

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags calls to top-level math/rand (and math/rand/v2)
+// functions anywhere in the module outside internal/stats. The
+// top-level functions draw from the process-global source, so a
+// single call threads shared hidden state through a run: seed-for-seed
+// reproducibility breaks, and the per-shard stats.SplitSeed streams
+// stop being independent. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, …) are fine — they are exactly how seeded streams are
+// built. internal/stats owns the seeded-stream constructors and is
+// the one exempt package.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "top-level math/rand functions (process-global RNG state) anywhere outside internal/stats' seeded-stream constructors",
+	Applies: func(pkgPath string) bool {
+		return !pathWithin(pkgPath, "internal/stats")
+	},
+	Run: runGlobalRand,
+}
+
+// randConstructors are the math/rand{,/v2} package functions that
+// build explicit generators rather than touching the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand (seeded streams) are the fix, not
+			// the finding.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"draw from a seeded *rand.Rand (stats.SplitSeed derives per-shard streams) so runs replay seed-for-seed",
+				"rand.%s draws from the process-global source", fn.Name())
+			return true
+		})
+	}
+}

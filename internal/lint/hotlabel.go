@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotLabel flags obs *Vec.With(...) label resolution inside for/range
+// bodies in instrumented packages. With takes the family mutex and a
+// label-map lookup; before PR 8 pre-resolved every fixed-label child
+// at construction, that lookup cost ~4% of dispatch CPU. A With call
+// that executes per loop iteration re-pays it on every pass — resolve
+// the child once outside the loop and reuse it. Construction-time
+// loops that resolve per-shard children once at startup are the
+// deliberate exception and carry reasoned waivers.
+var HotLabel = &Analyzer{
+	Name:    "hotlabel",
+	Doc:     "obs *Vec.With label resolution inside a for/range body in an instrumented package (pre-resolve children, PR 8 rule)",
+	Applies: isInstrumented,
+	Run:     runHotLabel,
+}
+
+func runHotLabel(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "With" {
+				return
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok || !isObsVec(tv.Type) {
+				return
+			}
+			if !insideLoopBody(call, stack) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"resolve the child once with With outside the loop (at construction for fixed labels) and reuse it inside",
+				"%s.With resolves a label child on every loop iteration", vecName(tv.Type))
+		})
+	}
+}
+
+// isObsVec reports whether t is (a pointer to) a labeled-family type
+// from internal/obs: CounterVec, GaugeVec, HistogramVec.
+func isObsVec(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil &&
+		pathWithin(obj.Pkg().Path(), "internal/obs") &&
+		strings.HasSuffix(obj.Name(), "Vec")
+}
+
+func vecName(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "Vec"
+}
+
+// insideLoopBody reports whether n sits inside the body (not the
+// header) of an enclosing for or range statement.
+func insideLoopBody(n ast.Node, stack []ast.Node) bool {
+	for _, a := range stack {
+		var body *ast.BlockStmt
+		switch loop := a.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			continue
+		}
+		if body != nil && body.Pos() <= n.Pos() && n.End() <= body.End() {
+			return true
+		}
+	}
+	return false
+}

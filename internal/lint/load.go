@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+// Test files (_test.go) are excluded: the analyzers guard production
+// determinism, and tests legitimately use wall clocks and ad-hoc RNGs.
+type Package struct {
+	// Path is the package's import path within the module (or the
+	// synthetic path a test asked to check it under).
+	Path  string
+	Dir   string
+	Files []*ast.File
+}
+
+// Loader parses and type-checks packages of one module from source.
+// One Loader shares a single FileSet and a single source importer
+// across every LoadDir call, so each dependency is type-checked once.
+type Loader struct {
+	Root       string // module root: the directory containing go.mod
+	ModulePath string
+	Fset       *token.FileSet
+	imp        types.Importer
+}
+
+// NewLoader reads go.mod under root and prepares a source importer.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s is not a module root: %w", abs, err)
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", abs)
+	}
+	// The source importer type-checks dependencies (including the
+	// standard library) from source via go/build. With cgo enabled,
+	// packages like net would pull in cgo-generated code the importer
+	// cannot produce; every such stdlib package has a pure-Go
+	// fallback, so force it.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       abs,
+		ModulePath: mod,
+		Fset:       fset,
+		imp:        importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// Expand resolves package patterns to directories, relative to the
+// module root. Supported forms: "./..." (the whole module), a
+// directory with a trailing "/..." (that subtree), or a plain
+// directory. testdata, vendor, and hidden directories are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.Root, dir)
+		}
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("lint: no such package directory: %s", pat)
+		}
+		if !recursive {
+			if hasGoFiles(dir) {
+				add(dir)
+			}
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the non-test Go files of one
+// directory. asPath overrides the import path the package is checked
+// under ("" derives it from the directory's position in the module);
+// golden-file tests use it to check fixtures as though they lived in
+// a determinism-critical package.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, *types.Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	path := asPath
+	if path == "" {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rel == "." {
+			path = l.ModulePath
+		} else {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	if _, err := conf.Check(path, l.Fset, files, info); err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files}, info, nil
+}

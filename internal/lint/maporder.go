@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over map-typed values in
+// determinism-critical packages. Go randomizes map iteration order,
+// so any map range on a path that feeds dispatch decisions, event
+// streams, or report bytes breaks seed-for-seed reproducibility —
+// the invariant the 1-shard / scenario-off / pooling-off parity
+// tests pin.
+//
+// The one allowed shape is collect-then-sort: a range body consisting
+// solely of append statements into slices that are later passed to a
+// sort/slices sorting call in the same function. Order-independent
+// iterations (commutative folds, per-element mutation) are deliberate
+// exceptions and must carry a reasoned //mrvdlint:ignore maporder
+// waiver.
+var MapOrder = &Analyzer{
+	Name:    "maporder",
+	Doc:     "range over a map in a determinism-critical package (sim, dispatch, shard, pool, core, experiments, stats) unless collected-and-sorted",
+	Applies: isDeterminismCritical,
+	Run:     runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectedAndSorted(pass, file, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"collect the keys, sort them, and range the sorted slice — or waive with //mrvdlint:ignore maporder <why order cannot matter>",
+				"map iteration order is randomized; range over %s is nondeterministic", types.TypeString(tv.Type, relativeTo(pass)))
+			return true
+		})
+	}
+}
+
+func relativeTo(pass *Pass) types.Qualifier {
+	return func(p *types.Package) string {
+		if p.Path() == pass.PkgPath {
+			return ""
+		}
+		return p.Name()
+	}
+}
+
+// collectedAndSorted reports whether rs is the allowed
+// collect-then-sort shape: every statement in the body appends to a
+// slice variable, and each collected slice is sorted after the loop
+// in the same function.
+func collectedAndSorted(pass *Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	collected := make(map[types.Object]bool)
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		arg0, ok := call.Args[0].(*ast.Ident)
+		if !ok || arg0.Name != lhs.Name {
+			return false
+		}
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		collected[obj] = true
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	encl := enclosingFunc(file, rs)
+	if encl == nil {
+		return false
+	}
+	// Each collected slice must flow into a sorting call after the loop.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if !sortFuncs[obj.Name()] || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if v := pass.Info.Uses[id]; v != nil && collected[v] {
+				sorted[v] = true
+			}
+		}
+		return true
+	})
+	for obj := range collected {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+var sortFuncs = map[string]bool{
+	// package sort
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	// package slices
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit containing n.
+func enclosingFunc(file *ast.File, n ast.Node) ast.Node {
+	var encl ast.Node
+	ast.Inspect(file, func(cand ast.Node) bool {
+		switch cand.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if cand.Pos() <= n.Pos() && n.End() <= cand.End() {
+				encl = cand // later matches are nested deeper
+			}
+		}
+		return true
+	})
+	return encl
+}

@@ -1,0 +1,24 @@
+// Package fixture is the globalrand golden-file fixture. The lint
+// tests check it twice: under an ordinary import path (the draws
+// fire) and under mrvd/internal/stats (the exempt package — nothing
+// fires).
+package fixture
+
+import "math/rand"
+
+// Bad draws from the process-global source: finding.
+func Bad() int {
+	return rand.Intn(10)
+}
+
+// BadShuffle permutes via the global source: finding.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Seeded builds and uses an explicit stream — constructors and
+// *rand.Rand methods are the fix, not the finding.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,36 @@
+// Package fixture is the hotlabel golden-file fixture, checked under
+// an instrumented import path by the lint tests.
+package fixture
+
+import (
+	"strconv"
+
+	"mrvd/internal/obs"
+)
+
+// Bad resolves the label child on every iteration: finding.
+func Bad(r *obs.Registry, xs []float64) {
+	v := r.HistogramVec("fixture_seconds", "h", obs.DefBuckets, "phase")
+	for _, x := range xs {
+		v.With("dispatch").Observe(x)
+	}
+}
+
+// PreResolved hoists the child out of the loop — the fix: no finding.
+func PreResolved(r *obs.Registry, xs []float64) {
+	child := r.HistogramVec("fixture2_seconds", "h", obs.DefBuckets, "phase").With("dispatch")
+	for _, x := range xs {
+		child.Observe(x)
+	}
+}
+
+// WaivedConstruction pre-resolves per-shard children once at startup;
+// the reasoned waiver marks the deliberate exception: no finding.
+func WaivedConstruction(r *obs.Registry, shards int) []*obs.Counter {
+	vec := r.CounterVec("fixture_total", "c", "shard")
+	out := make([]*obs.Counter, 0, shards)
+	for s := 0; s < shards; s++ {
+		out = append(out, vec.With(strconv.Itoa(s))) //mrvdlint:ignore hotlabel construction-time pre-resolution, runs once per shard
+	}
+	return out
+}

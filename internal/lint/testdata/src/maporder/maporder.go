@@ -1,0 +1,55 @@
+// Package fixture is the maporder golden-file fixture. The lint tests
+// check it under a determinism-critical import path; the .golden file
+// next to it pins exactly which lines fire.
+package fixture
+
+import "sort"
+
+// Bad iterates a map directly: finding.
+func Bad(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SortedAfterRange is the allowed collect-then-sort shape: no finding.
+func SortedAfterRange(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectedUnsorted collects keys but never sorts them: finding.
+func CollectedUnsorted(m map[string]int) []string {
+	keys := []string{}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Waived carries a reasoned waiver: no finding.
+func Waived(m map[string]int) int {
+	n := 0
+	//mrvdlint:ignore maporder commutative sum, order cannot matter
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// BareWaiver omits the required reason: the waiver itself is a
+// finding, and the map range underneath stays flagged.
+func BareWaiver(m map[string]int) int {
+	n := 0
+	//mrvdlint:ignore maporder
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

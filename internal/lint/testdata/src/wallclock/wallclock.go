@@ -1,0 +1,37 @@
+// Package fixture is the wallclock golden-file fixture, checked under
+// a determinism-critical import path by the lint tests.
+package fixture
+
+import "time"
+
+// Bad reads the wall clock: finding.
+func Bad() time.Time {
+	return time.Now()
+}
+
+// BadSince measures against the wall clock: finding.
+func BadSince(t time.Time) float64 {
+	return time.Since(t).Seconds()
+}
+
+// BadValue passes time.Now as a default without calling it — still a
+// wall-clock dependency: finding.
+func BadValue() func() time.Time {
+	return time.Now
+}
+
+// Waived carries a reasoned waiver: no finding.
+func Waived() time.Time {
+	return time.Now() //mrvdlint:ignore wallclock fixture exercises a deliberate wall-clock site
+}
+
+// Injected takes the clock as a parameter — the fix: no finding.
+func Injected(now func() time.Time) time.Time {
+	return now()
+}
+
+// Stale sits under a waiver that suppresses nothing: the waiver is
+// the finding.
+//
+//mrvdlint:ignore wallclock this waiver suppresses nothing
+func Stale() {}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags references to time.Now / time.Since in
+// determinism-critical packages. The engine runs on simulated batch
+// time; a wall-clock read inside the simulation domain makes runs
+// irreproducible and couples tests to scheduler latency.
+//
+// Wall-clock is legitimately the domain of internal/obs (WallMS span
+// stamps, process gauges), internal/server (accept timestamps,
+// submit→terminal latency), and internal/load (harness timing) — none
+// of which are determinism-critical, so the analyzer never visits
+// them; that package set is the analyzer's allowlist. The few real
+// wall sites inside the critical packages (obs phase timers in
+// sim.Engine, span WallMS, shard round timings, StateStore's
+// injectable-clock default) carry reasoned waivers.
+var WallClock = &Analyzer{
+	Name:    "wallclock",
+	Doc:     "time.Now/time.Since in a determinism-critical package (simulated-time domain); obs/server/load are the allowlist",
+	Applies: isDeterminismCritical,
+	Run:     runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if name := fn.Name(); name == "Now" || name == "Since" {
+				pass.Reportf(sel.Pos(),
+					"use the engine's simulated batch clock, inject a clock func (cf. StateStore.SetClock), or waive with //mrvdlint:ignore wallclock <why wall time is the domain>",
+					"time.%s reads the wall clock inside the simulated-time domain", name)
+			}
+			return true
+		})
+	}
+}

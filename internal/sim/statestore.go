@@ -133,6 +133,11 @@ type StateStore struct {
 	gapSumMS      float64
 	gapsMS        []float64
 	lastBatchWall time.Time
+
+	// now supplies the wall clock for batch-gap timings. It defaults
+	// to time.Now; SetClock injects a fake so store-view tests don't
+	// depend on real time.
+	now func() time.Time
 }
 
 // NewStateStore returns an empty store. fleet pre-populates that many
@@ -142,11 +147,22 @@ func NewStateStore(fleet int) *StateStore {
 	s := &StateStore{
 		orders:  make(map[trace.OrderID]*OrderView),
 		drivers: make(map[DriverID]*DriverView),
+		now:     time.Now, //mrvdlint:ignore wallclock injectable default; batch-gap timings measure real gateway pacing, not simulated time
 	}
 	for i := 0; i < fleet; i++ {
 		s.drivers[DriverID(i)] = &DriverView{ID: DriverID(i)}
 	}
 	return s
+}
+
+// SetClock overrides the wall-clock source behind the batch-gap
+// timings (AvgBatchGapMS and friends). Tests inject a deterministic
+// clock; production code keeps the default. Call it before the engine
+// starts delivering events.
+func (s *StateStore) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
 }
 
 // TrackSubmitted registers a submitted order so it is queryable while
@@ -185,8 +201,8 @@ func (s *StateStore) driver(id DriverID) *DriverView {
 
 // OnBatchStart implements Observer.
 func (s *StateStore) OnBatchStart(e BatchStartEvent) {
-	now := time.Now()
 	s.mu.Lock()
+	now := s.now()
 	defer s.mu.Unlock()
 	s.stats.Clock = e.Now
 	s.stats.Batch = e.Batch
@@ -204,6 +220,7 @@ func (s *StateStore) OnBatchStart(e BatchStartEvent) {
 	}
 	s.lastBatchWall = now
 	// Drivers whose trips completed are available again.
+	//mrvdlint:ignore maporder disjoint per-driver flag clear; no cross-driver state, so visit order cannot matter
 	for _, d := range s.drivers {
 		if d.Busy && d.FreeAt <= e.Now {
 			d.Busy = false

@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"mrvd/internal/geo"
 	"mrvd/internal/trace"
@@ -63,6 +64,34 @@ func TestStateStoreFoldsOrderLifecycle(t *testing.T) {
 	}
 	if st = s.Stats(); st.Clock != 200 || st.Batch != 4 || st.Waiting != 1 || st.Available != 2 {
 		t.Errorf("batch stats = %+v", st)
+	}
+}
+
+func TestStateStoreBatchGapsWithInjectedClock(t *testing.T) {
+	// Batch-gap stats are wall-clock timings; with an injected clock
+	// they are exactly computable instead of scheduler-dependent.
+	s := NewStateStore(0)
+	wall := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return wall })
+
+	gaps := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 20 * time.Millisecond}
+	s.OnBatchStart(BatchStartEvent{Now: 0, Batch: 0})
+	for i, g := range gaps {
+		wall = wall.Add(g)
+		s.OnBatchStart(BatchStartEvent{Now: float64(i+1) * 2, Batch: i + 1})
+	}
+
+	st := s.Stats()
+	if st.AvgBatchGapMS != 20 {
+		t.Errorf("AvgBatchGapMS = %v, want 20", st.AvgBatchGapMS)
+	}
+	if st.MaxBatchGapMS != 30 {
+		t.Errorf("MaxBatchGapMS = %v, want 30", st.MaxBatchGapMS)
+	}
+	// Nearest-rank over {10, 20, 30}: p50 -> 2nd, p95/p99 -> 3rd.
+	if st.BatchGapP50MS != 20 || st.BatchGapP95MS != 30 || st.BatchGapP99MS != 30 {
+		t.Errorf("gap percentiles = %v/%v/%v, want 20/30/30",
+			st.BatchGapP50MS, st.BatchGapP95MS, st.BatchGapP99MS)
 	}
 }
 
